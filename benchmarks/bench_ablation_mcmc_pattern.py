@@ -1,0 +1,99 @@
+"""Ablation — out-of-core behaviour under *Bayesian* MCMC (paper §5 claim).
+
+"The concepts developed here can be applied to all PLF-based programs (ML
+and Bayesian)". We measure the ancestral-vector locality spectrum across
+three workloads at f = 0.25 / LRU:
+
+* full traversals (``-f z``) — the paper's worst case, no locality;
+* lazy-SPR ML search — the paper's main workload: many evaluations
+  clustered around each prune point, hence extreme vector reuse;
+* MCMC over branch lengths + topology — each generation perturbs ONE
+  uniformly random edge, so the virtual root hops across the tree and a
+  root-path of vectors is re-oriented per generation: locality sits
+  between lazy SPR and full traversals;
+* MCMC including Γ-shape moves — every α proposal re-discretizes the rates
+  and invalidates **all** CLVs, degenerating toward the ``-f z`` regime.
+
+Take-away: the out-of-core layer serves Bayesian samplers exactly as the
+paper claims, and the miss rate is governed by how local the proposal
+schedule is — random-scan single-edge moves pay for their root hopping,
+and frequent model-parameter moves behave like full traversals.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.phylo.bayes import BranchScaleMove, McmcChain, NniMove, SprMove
+from repro.phylo.search import lazy_spr_round
+
+TREE_ONLY_MOVES = [(BranchScaleMove(), 6.0), (NniMove(), 2.0),
+                   (SprMove(radius=3), 1.0)]
+
+
+@pytest.fixture(scope="module")
+def workload_stats(ds1288):
+    out = {}
+
+    eng = ds1288.engine(fraction=0.25, policy="lru")
+    eng.full_traversals(5)
+    out["full traversals (-f z)"] = eng.stats
+
+    eng = ds1288.engine(fraction=0.25, policy="lru")
+    lazy_spr_round(eng, radius=5)
+    out["lazy-SPR ML search"] = eng.stats
+
+    eng = ds1288.engine(fraction=0.25, policy="lru")
+    McmcChain(eng, moves=[(BranchScaleMove(), 6.0), (NniMove(), 2.0),
+                          (SprMove(radius=3), 1.0)], seed=3).run(600)
+    out["MCMC (tree moves only)"] = eng.stats
+
+    eng = ds1288.engine(fraction=0.25, policy="lru")
+    McmcChain(eng, seed=3).run(600)  # default mix includes alpha moves
+    out["MCMC (incl. alpha moves)"] = eng.stats
+
+    return out
+
+
+def test_workload_locality_spectrum(benchmark, workload_stats):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'workload':>28} {'requests':>9} {'miss rate':>10} {'read rate':>10}"]
+    for label, stats in workload_stats.items():
+        lines.append(f"{label:>28} {stats.requests:>9} "
+                     f"{stats.miss_rate:>10.2%} {stats.read_rate:>10.2%}")
+    report("ablation_mcmc_pattern", lines)
+
+    tree_mcmc = workload_stats["MCMC (tree moves only)"].miss_rate
+    alpha_mcmc = workload_stats["MCMC (incl. alpha moves)"].miss_rate
+    search = workload_stats["lazy-SPR ML search"].miss_rate
+    ftrav = workload_stats["full traversals (-f z)"].miss_rate
+    assert search < tree_mcmc < ftrav, (
+        "random-scan MCMC locality must sit between lazy SPR and -f z"
+    )
+    assert alpha_mcmc > tree_mcmc, (
+        "alpha moves force full recomputations and erode locality"
+    )
+
+
+def test_mcmc_out_of_core_exact(benchmark, ds1288):
+    """Bayesian runs are reproducible across store configurations."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    r_std = McmcChain(ds1288.engine(), seed=17).run(200)
+    r_ooc = McmcChain(
+        ds1288.engine(fraction=0.25, policy="lru", poison_skipped_reads=True),
+        seed=17,
+    ).run(200)
+    assert r_std.final_log_likelihood == r_ooc.final_log_likelihood
+    assert [s.log_posterior for s in r_std.samples] == \
+           [s.log_posterior for s in r_ooc.samples]
+
+
+def test_mcmc_generation_speed(benchmark, ds1288):
+    """Generations/second through the out-of-core store."""
+    engine = ds1288.engine(fraction=0.25, policy="lru")
+    chain = McmcChain(engine, seed=23)
+
+    def run():
+        return chain.run(50)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.final_log_likelihood < 0

@@ -1,0 +1,75 @@
+"""Ablation — implemented strategies vs. the clairvoyant Belady optimum.
+
+The paper compares four implementable strategies against each other; here
+we additionally replay the recorded search access trace against Belady's
+MIN (the provable lower bound on misses) to quantify how much headroom is
+left. The paper's conclusion that Random/LRU suffice is confirmed when
+their miss counts sit close to OPT.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro import AncestralVectorStore, RecordingStoreProxy
+from repro.core.trace import simulate_policy_on_trace
+from repro.phylo.search import lazy_spr_round
+
+POLICIES = ("belady", "lru", "clock", "random", "fifo", "lfu")
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(ds1288):
+    """Record the vector access trace of one lazy-SPR round."""
+    engine = ds1288.engine()
+    proxy = RecordingStoreProxy(
+        AncestralVectorStore(engine.tree.num_inner, engine.clv_shape)
+    )
+    engine = ds1288.engine(store=proxy)
+    lazy_spr_round(engine, radius=5)
+    return proxy.trace
+
+
+def test_opt_headroom_table(benchmark, recorded_trace, ds1288):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    num_inner = ds1288.start_tree.num_inner
+    m = max(3, round(0.25 * num_inner))
+    lines = [
+        f"trace: {len(recorded_trace)} accesses over {num_inner} vectors, "
+        f"replayed at m={m} (f=0.25)",
+        f"{'policy':>8} {'misses':>8} {'miss rate':>10} {'vs OPT':>8}",
+    ]
+    results = {}
+    for policy in POLICIES:
+        stats = simulate_policy_on_trace(
+            recorded_trace, m, policy,
+            policy_kwargs={"seed": 3} if policy == "random" else None,
+        )
+        results[policy] = stats
+    opt = results["belady"].misses
+    for policy in POLICIES:
+        s = results[policy]
+        ratio = s.misses / opt if opt else float("inf")
+        lines.append(f"{policy:>8} {s.misses:>8} {s.miss_rate:>10.2%} "
+                     f"{ratio:>7.2f}x")
+    report("ablation_policies_vs_opt", lines)
+
+    # OPT is a true lower bound.
+    for policy in POLICIES[1:]:
+        assert results[policy].misses >= opt
+    # The paper's preferred cheap policies stay within a small factor of OPT.
+    assert results["lru"].misses <= 3.0 * opt
+    # LFU is the clear outlier, far worse than LRU (Fig. 2's finding).
+    assert results["lfu"].misses > 2.0 * results["lru"].misses
+
+
+@pytest.mark.parametrize("policy", ["lru", "belady"])
+def test_replay_speed(benchmark, recorded_trace, ds1288, policy):
+    """Time trace replay itself (the offline analysis tool)."""
+    num_inner = ds1288.start_tree.num_inner
+    m = max(3, round(0.25 * num_inner))
+
+    def run():
+        return simulate_policy_on_trace(recorded_trace, m, policy)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.requests == len(recorded_trace)

@@ -1,0 +1,81 @@
+"""Figure 3 — effect of read skipping on the actual disk-read rate.
+
+Paper result: with read skipping (§3.4), the fraction of vector requests
+that cause an actual read from file is substantially lower than the miss
+rate — "we can omit more than 50% of all vector read operations and hence
+more than 25% of all I/O operations". Without the technique the read rate
+equals the miss rate by definition.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_FRACTIONS, PAPER_POLICIES, fraction_header, report
+
+
+def test_fig3_read_rate_table(benchmark, shadow_grid):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    lines = [
+        f"dataset {shadow_grid.dataset}: read rate with read skipping "
+        "(% of total vector requests)",
+        fraction_header(),
+    ]
+    reads_saved_total = 0
+    misses_total = 0
+    for policy in PAPER_POLICIES:
+        row = [shadow_grid.get(policy, f) for f in PAPER_FRACTIONS]
+        lines.append(f"{policy:>12} | " +
+                     " | ".join(f"{s.read_rate:6.2%}" for s in row))
+        for s in row:
+            reads_saved_total += s.read_skips
+            misses_total += s.misses
+    saved = reads_saved_total / misses_total
+    lines.append("")
+    lines.append(f"read operations elided by read skipping: {saved:.1%} "
+                 f"({reads_saved_total}/{misses_total} misses)")
+    report("fig3_read_skipping", lines)
+
+    # -- the paper's claims --------------------------------------------------
+    for policy in PAPER_POLICIES:
+        for f in PAPER_FRACTIONS:
+            s = shadow_grid.get(policy, f)
+            assert s.read_rate <= s.miss_rate
+    assert saved > 0.50, (
+        "read skipping should omit more than 50% of vector reads (paper §4.1)"
+    )
+
+
+def test_fig3_without_skipping_read_rate_equals_miss_rate(benchmark, ds1288):
+    """The control: disabling §3.4 makes every miss a read."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    engine = ds1288.engine(fraction=0.25, policy="lru", read_skipping=False)
+    engine.full_traversals(2)
+    assert engine.stats.read_rate == engine.stats.miss_rate
+    assert engine.stats.read_skips == 0
+
+
+def test_fig3_io_operation_savings(benchmark, shadow_grid):
+    """>50% fewer reads implies >25% fewer total I/O ops (reads+writes)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    for f in PAPER_FRACTIONS:
+        s = shadow_grid.get("lru", f)
+        ios_with = s.reads + s.writes
+        ios_without = s.misses + s.writes  # every miss would read
+        if s.misses == 0:
+            continue
+        assert ios_with < 0.75 * ios_without, (
+            f"read skipping should save >25% of I/O operations at f={f}"
+        )
+
+
+@pytest.mark.parametrize("read_skipping", [True, False])
+def test_fig3_skipping_speed(benchmark, ds1288, read_skipping):
+    """Time the same workload with the technique on and off (real backing)."""
+    engine = ds1288.engine(fraction=0.25, policy="lru",
+                           read_skipping=read_skipping)
+
+    def run():
+        engine.invalidate_all()
+        return engine.loglikelihood()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result < 0.0

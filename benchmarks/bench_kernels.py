@@ -1,0 +1,117 @@
+"""Kernel throughput — the compute the out-of-core layer keeps fed.
+
+"In all popular ML and Bayesian phylogenetic inference programs, the PLF
+dominates both the overall execution time as well as the memory
+requirements by typically 85%–95%" (§1). These benches measure the raw
+numpy PLF kernels (CLV update, edge likelihood, sumtable + Newton
+derivative) so the out-of-core swap costs in the other benches can be read
+against the compute they overlap with.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GTR, RateModel
+from repro.phylo.alphabet import DNA
+from repro.phylo.likelihood import kernels
+
+PATTERNS = 4096
+CATS = 4
+MODEL = GTR((1, 2.5, 0.9, 1.1, 3.0, 1), (0.28, 0.22, 0.26, 0.24))
+RATES = RateModel.gamma(0.8, CATS)
+
+
+@pytest.fixture(scope="module")
+def operands(rng=np.random.default_rng(5)):
+    left = rng.uniform(0.1, 1.0, size=(PATTERNS, CATS, 4))
+    right = rng.uniform(0.1, 1.0, size=(PATTERNS, CATS, 4))
+    out = np.empty_like(left)
+    counts = np.zeros(PATTERNS, dtype=np.int32)
+    P = MODEL.transition_matrices(0.13, RATES.rates)
+    codes = rng.integers(0, 15, size=PATTERNS) + 1
+    return left, right, out, counts, P, codes
+
+
+def test_clv_update_inner_inner(benchmark, operands):
+    left, right, out, counts, P, _ = operands
+    scheme = kernels.ScalingScheme()
+
+    def run():
+        counts.fill(0)
+        kernels.update_clv(out, P, P, left, right, None, None,
+                           DNA.code_matrix(), counts, scheme)
+
+    benchmark(run)
+
+
+def test_clv_update_tip_tip(benchmark, operands):
+    _, _, out, counts, P, codes = operands
+    scheme = kernels.ScalingScheme()
+    cm = DNA.code_matrix()
+
+    def run():
+        counts.fill(0)
+        kernels.update_clv(out, P, P, None, None, codes, codes, cm,
+                           counts, scheme)
+
+    benchmark(run)
+
+
+def test_edge_likelihood(benchmark, operands):
+    left, right, _, _, P, _ = operands
+
+    def run():
+        return kernels.edge_site_likelihoods(
+            P, MODEL.frequencies, RATES.weights, left, right, None, None,
+            DNA.code_matrix(),
+        )
+
+    site_l = benchmark(run)
+    assert site_l.shape == (PATTERNS,)
+
+
+def test_branch_sumtable_and_derivatives(benchmark, operands):
+    left, right, _, _, _, _ = operands
+    table = kernels.branch_sumtable(
+        MODEL.eigenvectors, MODEL.inv_eigenvectors, MODEL.frequencies,
+        left, right, None, None, DNA.code_matrix(),
+    )
+    pw = np.ones(PATTERNS)
+
+    def run():
+        return kernels.branch_lnl_and_derivatives(
+            table, MODEL.eigenvalues, RATES.rates, RATES.weights, pw, 0.1
+        )
+
+    g, d1, d2 = benchmark(run)
+    assert np.isfinite(d1) and np.isfinite(d2)
+
+
+def test_transition_matrices(benchmark):
+    def run():
+        return MODEL.transition_matrices(0.2, RATES.rates)
+
+    P = benchmark(run)
+    assert P.shape == (CATS, 4, 4)
+
+
+def test_sites_per_second_report(benchmark, operands):
+    """Headline number: CLV pattern-updates per second on this machine."""
+    import time
+
+    left, right, out, counts, P, _ = operands
+    scheme = kernels.ScalingScheme()
+    n = 50
+    t0 = time.perf_counter()
+    for _ in range(n):
+        counts.fill(0)
+        kernels.update_clv(out, P, P, left, right, None, None,
+                           DNA.code_matrix(), counts, scheme)
+    dt = time.perf_counter() - t0
+    rate = n * PATTERNS / dt
+    from benchmarks.conftest import report
+    report("kernel_throughput",
+           [f"CLV updates: {rate:,.0f} patterns/s "
+            f"({PATTERNS} patterns x {CATS} Γ rates, float64)"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rate > 100_000

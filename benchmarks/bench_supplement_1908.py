@@ -1,0 +1,68 @@
+"""Online supplement — the 1908-taxon dataset analogue of Figures 2 and 3.
+
+The paper reports: "The plots for the dataset with 1908 species are
+analogous (with slightly better miss rates) to those presented in Figures
+2 and 3." We regenerate the same tables on the second (scaled) dataset and
+assert the analogous shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_FRACTIONS, PAPER_POLICIES, fraction_header, report
+
+
+def test_supplement_miss_and_read_rates(benchmark, shadow_grid_1908):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    grid = shadow_grid_1908
+    lines = [
+        f"dataset {grid.dataset}: lazy-SPR search, {grid.requests} vector "
+        f"requests, lnL {grid.search_lnl:.2f}",
+        "",
+        "miss rate (% of total vector requests)",
+        fraction_header(),
+    ]
+    rates = {}
+    for policy in PAPER_POLICIES:
+        row = [grid.get(policy, f).miss_rate for f in PAPER_FRACTIONS]
+        rates[policy] = row
+        lines.append(f"{policy:>12} | " + " | ".join(f"{r:6.2%}" for r in row))
+    lines.append("")
+    lines.append("read rate with read skipping (% of total vector requests)")
+    lines.append(fraction_header())
+    for policy in PAPER_POLICIES:
+        row = [grid.get(policy, f).read_rate for f in PAPER_FRACTIONS]
+        lines.append(f"{policy:>12} | " + " | ".join(f"{r:6.2%}" for r in row))
+    report("supplement_1908", lines)
+
+    # analogous shape: sub-10% misses at f=0.25 for the three good policies,
+    # LFU worst, monotone in f, read rate <= miss rate.
+    for policy in ("random", "lru", "topological"):
+        assert rates[policy][0] < 0.10
+    assert rates["lfu"][0] > max(rates["random"][0], rates["lru"][0],
+                                 rates["topological"][0])
+    for policy in PAPER_POLICIES:
+        assert rates[policy][0] >= rates[policy][1] >= rates[policy][2]
+        for f in PAPER_FRACTIONS:
+            s = grid.get(policy, f)
+            assert s.read_rate <= s.miss_rate
+
+
+def test_supplement_larger_tree_not_worse(benchmark, shadow_grid, shadow_grid_1908):
+    """'slightly better miss rates' on the larger dataset: the bigger tree
+    must not behave qualitatively worse at f = 0.25 (LRU)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    small = shadow_grid.get("lru", 0.25).miss_rate
+    large = shadow_grid_1908.get("lru", 0.25).miss_rate
+    assert large < small + 0.05
+
+
+def test_supplement_search_timing(benchmark, ds1908):
+    """Time one out-of-core likelihood evaluation on the larger dataset."""
+    engine = ds1908.engine(fraction=0.25, policy="lru")
+
+    def run():
+        engine.invalidate_all()
+        return engine.loglikelihood()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result < 0.0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the out-of-core PLF in five minutes.
+
+Simulates a small DNA alignment, computes the log-likelihood with the
+standard (all-in-RAM) engine and with the out-of-core engine at several
+memory fractions, and demonstrates the paper's two headline properties:
+
+1. the results are *bit-identical* regardless of f and the replacement
+   strategy (§4.1), and
+2. miss rates stay low even when only a quarter of the ancestral
+   probability vectors fit in RAM (Fig. 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GTR, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+from repro.phylo.likelihood.branch_opt import smooth_all_branches
+from repro.utils.timing import format_bytes
+
+
+def main() -> None:
+    # --- 1. data: a 24-taxon tree and 500 simulated DNA sites -------------
+    tree = yule_tree(24, seed=42)
+    model = GTR((1.0, 2.9, 0.6, 1.1, 3.3, 1.0), (0.30, 0.21, 0.24, 0.25))
+    rates = RateModel.gamma(0.7, 4)  # the paper's Γ model, 4 discrete rates
+    alignment = simulate_alignment(tree, model, 500, rates=rates, seed=43)
+    print(f"dataset : {alignment!r}")
+
+    # --- 2. standard engine: everything in RAM ---------------------------
+    standard = LikelihoodEngine(tree.copy(), alignment, model, rates)
+    lnl_std = standard.loglikelihood()
+    w = standard.ancestral_vector_bytes()
+    print(f"ancestral vector width w = {format_bytes(w)}; "
+          f"total = {format_bytes(standard.total_ancestral_bytes())}")
+    print(f"standard  lnL = {lnl_std:.6f}")
+
+    # --- 3. out-of-core engines at f = 0.5, 0.25 and five slots ----------
+    for label, kwargs in [
+        ("f=0.50 LRU   ", dict(fraction=0.50, policy="lru")),
+        ("f=0.25 LRU   ", dict(fraction=0.25, policy="lru")),
+        ("f=0.25 random", dict(fraction=0.25, policy="random")),
+        ("5 slots rand ", dict(num_slots=5, policy="random")),
+    ]:
+        ooc = LikelihoodEngine(tree.copy(), alignment, model, rates, **kwargs)
+        lnl = ooc.loglikelihood()
+        identical = "identical" if lnl == lnl_std else "MISMATCH!"
+        print(f"ooc {label} lnL = {lnl:.6f}  [{identical}]  "
+              f"miss rate = {ooc.stats.miss_rate:6.2%}  "
+              f"read rate = {ooc.stats.read_rate:6.2%} (read skipping)")
+
+    # --- 4. the engines stay interchangeable under real work -------------
+    e1 = LikelihoodEngine(tree.copy(), alignment, model, rates)
+    e2 = LikelihoodEngine(tree.copy(), alignment, model, rates,
+                          fraction=0.25, policy="lru")
+    l1 = smooth_all_branches(e1, passes=2)
+    l2 = smooth_all_branches(e2, passes=2)
+    print(f"after branch optimization: standard {l1:.6f} vs out-of-core {l2:.6f} "
+          f"-> {'identical' if l1 == l2 else 'MISMATCH!'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,217 @@
+"""Backing stores: where evicted ancestral vectors live.
+
+The paper stores "all ancestral probability vectors that do not fit into
+RAM contiguously in a single binary file", with an option to spread them
+over several files (§3.2, performance difference "minimal"). We implement
+both, plus an in-memory backing (for miss-rate experiments where physical
+I/O would only add noise) and a *simulated-latency disk* used by the
+Figure-5 runtime benchmark, which charges an explicit seek + bandwidth cost
+per transfer instead of performing real I/O — see DESIGN.md, substitution 3.
+
+All stores move whole vectors ("pages" of ``w`` bytes): because one
+ancestral vector is far larger than the 512 B–8 KiB hardware block (§3.1),
+every transfer is a single large sequential access, which is exactly the
+amortization argument the paper makes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import BackingStoreError
+from repro.vm.disk import DiskModel
+
+
+class BackingStore(Protocol):
+    """Protocol for vector-granularity persistent storage.
+
+    Implementations store ``num_items`` fixed-size vectors addressed by
+    integer id. ``read`` fills a caller-provided buffer (no allocation on
+    the hot path); ``write`` persists a vector.
+    """
+
+    def read(self, item: int, out: np.ndarray) -> None: ...
+
+    def write(self, item: int, data: np.ndarray) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryBackingStore:
+    """Backing store held in RAM — zero-latency stand-in for a disk.
+
+    Used by the replacement-strategy experiments (Figs. 2–4): the metric
+    there is the *miss/read rate*, a property of the access pattern alone,
+    so physical disk traffic is unnecessary. The paper does the same thing
+    by running on a 36 GB machine where everything fits ("the amount of
+    available RAM was sufficient to hold all vectors in memory", §4.1).
+    """
+
+    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype=np.float64) -> None:
+        self.num_items = int(num_items)
+        self.item_shape = tuple(item_shape)
+        self.dtype = np.dtype(dtype)
+        self._data = np.zeros((self.num_items, *self.item_shape), dtype=self.dtype)
+        self._present = np.zeros(self.num_items, dtype=bool)
+        self._closed = False
+
+    def _check(self, item: int) -> None:
+        if self._closed:
+            raise BackingStoreError("backing store is closed")
+        if not 0 <= item < self.num_items:
+            raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
+
+    def read(self, item: int, out: np.ndarray) -> None:
+        self._check(item)
+        np.copyto(out, self._data[item])
+
+    def write(self, item: int, data: np.ndarray) -> None:
+        self._check(item)
+        np.copyto(self._data[item], data)
+        self._present[item] = True
+
+    def has(self, item: int) -> bool:
+        return bool(self._present[item])
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class FileBackingStore:
+    """The paper's layout: all vectors contiguous in ONE binary file.
+
+    Vector ``i`` lives at byte offset ``i * w`` where ``w`` is the vector
+    width — the paper's ``nodemap`` offset field. The file is preallocated
+    (sparse where the OS allows) on construction.
+    """
+
+    def __init__(self, path: str | os.PathLike, num_items: int,
+                 item_shape: tuple[int, ...], dtype=np.float64) -> None:
+        self.path = os.fspath(path)
+        self.num_items = int(num_items)
+        self.item_shape = tuple(item_shape)
+        self.dtype = np.dtype(dtype)
+        self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
+        self._fh = open(self.path, "w+b")
+        self._fh.truncate(self.num_items * self.item_bytes)
+        self._closed = False
+
+    def _offset(self, item: int) -> int:
+        if self._closed:
+            raise BackingStoreError("backing store is closed")
+        if not 0 <= item < self.num_items:
+            raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
+        return item * self.item_bytes
+
+    def read(self, item: int, out: np.ndarray) -> None:
+        if out.nbytes != self.item_bytes or not out.flags.c_contiguous:
+            raise BackingStoreError(
+                f"read buffer mismatch: {out.nbytes} bytes vs item width {self.item_bytes}"
+            )
+        self._fh.seek(self._offset(item))
+        view = memoryview(out.reshape(-1).view(np.uint8))
+        got = self._fh.readinto(view)
+        if got != self.item_bytes:
+            raise BackingStoreError(
+                f"short read for item {item}: {got}/{self.item_bytes} bytes"
+            )
+
+    def write(self, item: int, data: np.ndarray) -> None:
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if data.nbytes != self.item_bytes:
+            raise BackingStoreError(
+                f"write buffer mismatch: {data.nbytes} bytes vs item width {self.item_bytes}"
+            )
+        self._fh.seek(self._offset(item))
+        self._fh.write(data.tobytes())
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class MultiFileBackingStore:
+    """Vectors striped round-robin across several binary files (§3.2).
+
+    The paper "allows for storing individual vectors in several files" and
+    found the single-file/multi-file difference minimal; this class exists
+    to reproduce that comparison (see the ablation benchmark).
+    """
+
+    def __init__(self, directory: str | os.PathLike, num_items: int,
+                 item_shape: tuple[int, ...], dtype=np.float64, num_files: int = 4) -> None:
+        if num_files < 1:
+            raise BackingStoreError(f"need at least 1 file, got {num_files}")
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.num_items = int(num_items)
+        self.num_files = int(num_files)
+        per_file = [len(range(f, num_items, num_files)) for f in range(num_files)]
+        self._files = [
+            FileBackingStore(
+                os.path.join(self.directory, f"vectors_{f}.bin"),
+                max(per_file[f], 1), item_shape, dtype,
+            )
+            for f in range(num_files)
+        ]
+
+    def _locate(self, item: int) -> tuple[FileBackingStore, int]:
+        if not 0 <= item < self.num_items:
+            raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
+        return self._files[item % self.num_files], item // self.num_files
+
+    def read(self, item: int, out: np.ndarray) -> None:
+        fh, local = self._locate(item)
+        fh.read(local, out)
+
+    def write(self, item: int, data: np.ndarray) -> None:
+        fh, local = self._locate(item)
+        fh.write(local, data)
+
+    def close(self) -> None:
+        for fh in self._files:
+            fh.close()
+
+
+class SimulatedDiskBackingStore:
+    """In-memory data with an explicit disk-time model.
+
+    Every ``read``/``write`` completes instantly (a RAM copy) but charges
+    ``DiskModel.transfer_time(nbytes, sequential=True)`` to
+    :attr:`simulated_seconds`. The Figure-5 benchmark runs the real numpy
+    PLF compute and adds this simulated I/O wait, reproducing the paper's
+    out-of-core runtime curve without a 32 GB dataset or a 2 GB machine
+    (DESIGN.md substitution 3).
+    """
+
+    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype=np.float64,
+                 disk: DiskModel | None = None) -> None:
+        self._inner = MemoryBackingStore(num_items, item_shape, dtype)
+        self.disk = disk if disk is not None else DiskModel.hdd()
+        self.simulated_seconds = 0.0
+        self.num_items = self._inner.num_items
+        self.item_bytes = int(np.prod(item_shape)) * np.dtype(dtype).itemsize
+
+    def read(self, item: int, out: np.ndarray) -> None:
+        self._inner.read(item, out)
+        self.simulated_seconds += self.disk.transfer_time(self.item_bytes, sequential=True)
+
+    def write(self, item: int, data: np.ndarray) -> None:
+        self._inner.write(item, data)
+        self.simulated_seconds += self.disk.transfer_time(self.item_bytes, sequential=True)
+
+    def close(self) -> None:
+        self._inner.close()

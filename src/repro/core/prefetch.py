@@ -1,0 +1,81 @@
+"""Traversal-order prefetching (paper §5, future work).
+
+The paper's conclusion proposes "assessing if pre-fetching can be deployed
+by means of a prefetch thread". Because a post-order traversal descriptor
+is computed *before* any likelihood arithmetic (§3.4), the exact upcoming
+vector access order is known — a prefetcher can pull the next vectors into
+free or soon-to-be-free slots while the CPU crunches the current one.
+
+In Python we model the *effect* rather than spawn real threads: the
+:class:`Prefetcher` issues the backing-store reads ahead of demand and
+marks those slots, and demand hits on prefetched slots are counted
+separately. With a :class:`~repro.core.backing.SimulatedDiskBackingStore`,
+prefetched read time can be discounted by an ``overlap`` factor,
+representing how much of the transfer hides behind computation.
+"""
+
+from __future__ import annotations
+
+from repro.core.backing import SimulatedDiskBackingStore
+from repro.core.vecstore import AncestralVectorStore
+from repro.errors import OutOfCoreError
+
+
+class Prefetcher:
+    """Issues ahead-of-demand loads for a known upcoming access sequence.
+
+    Parameters
+    ----------
+    store:
+        The vector store to prefetch into.
+    depth:
+        How many future items to keep in flight; a prefetch never evicts a
+        pinned item and never evicts an item that appears in the in-flight
+        window (that would be self-defeating).
+    overlap:
+        Fraction of each prefetched transfer assumed hidden behind compute
+        (only meaningful when the backing store simulates time; 1.0 = the
+        classic fully-overlapped prefetch thread).
+    """
+
+    def __init__(self, store: AncestralVectorStore, depth: int = 2,
+                 overlap: float = 1.0) -> None:
+        if depth < 1:
+            raise OutOfCoreError(f"prefetch depth must be >= 1, got {depth}")
+        if not 0.0 <= overlap <= 1.0:
+            raise OutOfCoreError(f"overlap must be in [0, 1], got {overlap}")
+        self.store = store
+        self.depth = depth
+        self.overlap = overlap
+        self._prefetched: set[int] = set()
+        self.hidden_seconds = 0.0
+
+    def run_schedule(self, upcoming: list[tuple[int, tuple, bool]]) -> None:
+        """Prefetch for a schedule of ``(item, pins, write_only)`` triples.
+
+        Walks the schedule and, before each demand access would occur,
+        ensures the next ``depth`` *read* items are resident (write-only
+        items gain nothing from prefetch: their reads are skipped anyway).
+        This is the synchronous model of the paper's prefetch thread; call
+        it immediately before executing the corresponding traversal.
+        """
+        backing = self.store.backing
+        simulated = isinstance(backing, SimulatedDiskBackingStore)
+        for idx, (item, pins, write_only) in enumerate(upcoming):
+            horizon = upcoming[idx: idx + self.depth]
+            protect = {it for it, _, _ in horizon} | set(pins)
+            for nxt, npins, nwrite in horizon:
+                if nwrite or self.store.is_resident(nxt):
+                    continue
+                before = backing.simulated_seconds if simulated else 0.0
+                self.store.get(nxt, pins=tuple(protect - {nxt}), write_only=False)
+                self.store.stats.prefetch_reads += 1
+                self._prefetched.add(nxt)
+                if simulated:
+                    cost = backing.simulated_seconds - before
+                    hidden = cost * self.overlap
+                    backing.simulated_seconds -= hidden
+                    self.hidden_seconds += hidden
+            if item in self._prefetched and self.store.is_resident(item):
+                self.store.stats.prefetch_hits += 1
+                self._prefetched.discard(item)

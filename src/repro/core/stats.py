@@ -1,0 +1,118 @@
+"""I/O accounting for the out-of-core vector store.
+
+The paper's evaluation (§4.1–4.2) reports two ratios per run:
+
+* **miss rate** — vector requests not already resident in RAM, over all
+  requests (Figs. 2 and 4);
+* **read rate** — requests that caused an *actual disk read*, over all
+  requests; lower than the miss rate when read skipping (§3.4) elides
+  reads of write-only vectors (Fig. 3).
+
+:class:`IoStats` tracks these plus byte counts and swap counts, supports
+named snapshots (so a search phase can be measured independently of the
+initial full traversal) and pretty-prints as a table row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IoStats:
+    """Mutable counter block for one :class:`AncestralVectorStore`."""
+
+    requests: int = 0          #: total calls to ``get()``
+    hits: int = 0              #: requests satisfied from a RAM slot
+    misses: int = 0            #: requests requiring a slot (dis)placement
+    reads: int = 0             #: vectors actually read from backing store
+    read_skips: int = 0        #: reads elided by the read-skipping rule
+    writes: int = 0            #: vectors written back to the backing store
+    write_skips: int = 0       #: write-backs elided by clean-eviction tracking
+    bytes_read: int = 0
+    bytes_written: int = 0
+    prefetch_reads: int = 0    #: reads issued ahead of demand by a prefetcher
+    prefetch_hits: int = 0     #: demand requests satisfied by a prefetched slot
+    _snapshots: dict = field(default_factory=dict, repr=False)
+
+    # -- derived rates (paper's metrics) ----------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of vector requests that missed RAM (Fig. 2/4 metric)."""
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def read_rate(self) -> float:
+        """Fraction of requests that caused a *real* disk read (Fig. 3 metric).
+
+        Equals :attr:`miss_rate` when read skipping is disabled (§3.4).
+        """
+        return self.reads / self.requests if self.requests else 0.0
+
+    @property
+    def swaps(self) -> int:
+        """Total vector I/O operations (reads + writes), §3.4's target metric."""
+        return self.reads + self.writes
+
+    @property
+    def io_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter (snapshots are kept)."""
+        self.requests = self.hits = self.misses = 0
+        self.reads = self.read_skips = self.writes = self.write_skips = 0
+        self.bytes_read = self.bytes_written = 0
+        self.prefetch_reads = self.prefetch_hits = 0
+
+    def snapshot(self, name: str) -> None:
+        """Remember current counters under ``name`` for later :meth:`delta`."""
+        self._snapshots[name] = self._counters()
+
+    def delta(self, name: str) -> "IoStats":
+        """Counters accumulated since :meth:`snapshot`(name) as a new stats block."""
+        base = self._snapshots.get(name)
+        if base is None:
+            raise KeyError(f"no snapshot named {name!r}")
+        cur = self._counters()
+        out = IoStats()
+        for key, value in cur.items():
+            setattr(out, key, value - base[key])
+        return out
+
+    def _counters(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "reads": self.reads,
+            "read_skips": self.read_skips,
+            "writes": self.writes,
+            "write_skips": self.write_skips,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "prefetch_reads": self.prefetch_reads,
+            "prefetch_hits": self.prefetch_hits,
+        }
+
+    def as_row(self) -> dict:
+        """Flat dict (counters + rates) for report tables."""
+        row = self._counters()
+        row["miss_rate"] = self.miss_rate
+        row["read_rate"] = self.read_rate
+        row["swaps"] = self.swaps
+        return row
+
+    def __str__(self) -> str:
+        return (
+            f"requests={self.requests} miss_rate={self.miss_rate:.4f} "
+            f"read_rate={self.read_rate:.4f} reads={self.reads} writes={self.writes} "
+            f"skipped_reads={self.read_skips}"
+        )

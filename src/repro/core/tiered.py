@@ -1,0 +1,127 @@
+"""Three-layer vector storage: accelerator ⇄ RAM ⇄ disk (paper §5).
+
+The paper's conclusion envisions "a three-layer architecture, where
+ancestral probability vectors partially reside on disk, in RAM, or the
+memory of an accelerator card". :class:`TieredVectorStore` composes two
+:class:`~repro.core.vecstore.AncestralVectorStore` levels: a small, fast
+*device* tier whose backing store is an adapter over a larger *host* tier,
+which in turn spills to the real backing store (file / simulated disk).
+``get()`` on the tiered store transparently promotes a vector through both
+levels, and each level keeps its own policy and statistics — so the
+device-tier miss rate is the PCIe-transfer rate and the host-tier miss rate
+is the disk-transfer rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backing import BackingStore
+from repro.core.vecstore import AncestralVectorStore
+from repro.errors import OutOfCoreError
+
+
+class HostTierBacking:
+    """Adapter presenting a host-level vector store as a backing store.
+
+    A device-tier miss triggers ``read`` here, which resolves the vector in
+    the host tier (possibly faulting it up from disk) and copies it into
+    the device slot — the simulated PCIe transfer. Evicted device vectors
+    are written back down the same way. Pins are forwarded so the host
+    tier never evicts a vector the device tier is mid-transfer on.
+    """
+
+    def __init__(self, host: AncestralVectorStore) -> None:
+        self.host = host
+        self.num_items = host.num_items
+        self.transfers_up = 0
+        self.transfers_down = 0
+        self.bytes_moved = 0
+
+    def read(self, item: int, out: np.ndarray) -> None:
+        np.copyto(out, self.host.get(item, write_only=False))
+        self.transfers_up += 1
+        self.bytes_moved += out.nbytes
+
+    def write(self, item: int, data: np.ndarray) -> None:
+        np.copyto(self.host.get(item, write_only=True), data)
+        self.transfers_down += 1
+        self.bytes_moved += data.nbytes
+
+    def close(self) -> None:
+        self.host.close()
+
+
+class TieredVectorStore:
+    """Two cooperating store levels with a single ``get()`` front door.
+
+    Parameters
+    ----------
+    num_items, item_shape, dtype:
+        Geometry, as for :class:`AncestralVectorStore`.
+    device_slots:
+        Capacity of the small fast tier (accelerator memory).
+    host_slots:
+        Capacity of the middle tier (CPU RAM).
+    device_policy / host_policy:
+        Replacement strategy per tier.
+    backing:
+        The bottom layer (binary file or simulated disk) behind the host.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        item_shape: tuple[int, ...],
+        *,
+        dtype=np.float64,
+        device_slots: int,
+        host_slots: int,
+        device_policy="lru",
+        host_policy="lru",
+        backing: BackingStore | None = None,
+        read_skipping: bool = True,
+    ) -> None:
+        if device_slots >= host_slots:
+            raise OutOfCoreError(
+                f"device tier ({device_slots}) should be smaller than host tier "
+                f"({host_slots}) — otherwise use a single store"
+            )
+        self.host = AncestralVectorStore(
+            num_items, item_shape, dtype=dtype, num_slots=host_slots,
+            policy=host_policy, backing=backing, read_skipping=read_skipping,
+        )
+        self.link = HostTierBacking(self.host)
+        self.device = AncestralVectorStore(
+            num_items, item_shape, dtype=dtype, num_slots=device_slots,
+            policy=device_policy, backing=self.link, read_skipping=read_skipping,
+        )
+        self.num_items = num_items
+
+    def get(self, item: int, pins: tuple = (), write_only: bool = False) -> np.ndarray:
+        """Fetch a vector into the device tier (promoting through the host)."""
+        return self.device.get(item, pins=pins, write_only=write_only)
+
+    @property
+    def device_stats(self):
+        return self.device.stats
+
+    @property
+    def host_stats(self):
+        return self.host.stats
+
+    def flush(self) -> None:
+        """Push all device-resident vectors down to host, then host to backing."""
+        for item in list(self.device.resident_items()):
+            slot = int(self.device._item_slot[item])
+            self.link.write(item, self.device._slots[slot])
+        self.host.flush()
+
+    def close(self) -> None:
+        self.device.close()  # closes link -> host -> backing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TieredVectorStore(n={self.num_items}, device={self.device.num_slots}, "
+            f"host={self.host.num_slots})"
+        )

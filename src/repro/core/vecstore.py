@@ -1,0 +1,296 @@
+"""The out-of-core ancestral-vector store — the paper's ``getxvector()``.
+
+:class:`AncestralVectorStore` manages ``n`` logical vectors with only
+``m = f·n < n`` RAM *slots* (§3.2). Each slot holds exactly one vector; a
+vector is at any moment either resident in a slot or in the backing store
+(the paper's single binary file). All bookkeeping mirrors the C structs of
+§3.2:
+
+====================  =========================================
+paper                 here
+====================  =========================================
+``itemvector[i]``     ``item_slot[i]`` (-1 ⇒ on disk at offset ``i·w``)
+``item_in_mem[s]``    ``slot_item[s]`` (-1 ⇒ slot free)
+``getxvector(i,j,k)`` ``get(i, pins=(j, k))``
+``skipreads``         ``read_skipping`` constructor flag
+``strategy``          a :class:`~repro.core.policies.ReplacementPolicy`
+====================  =========================================
+
+Correctness contract (paper §4.1): routing vector accesses through this
+store must leave likelihood results **bit-identical** to the all-in-RAM
+implementation, for every policy and every ``m ≥ 3``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.backing import BackingStore, MemoryBackingStore
+from repro.core.policies import ReplacementPolicy, make_policy
+from repro.core.stats import IoStats
+from repro.errors import OutOfCoreError, PinnedSlotError
+
+#: Smallest legal slot count: computing one ancestral vector needs it plus
+#: its two children resident simultaneously (paper: "we must ensure m ≥ 3").
+MIN_SLOTS = 3
+
+
+class AncestralVectorStore:
+    """Fixed-capacity slot arena with transparent swap-in/swap-out.
+
+    Parameters
+    ----------
+    num_items:
+        ``n`` — the number of logical vectors (ancestral nodes).
+    item_shape:
+        Shape of one vector, e.g. ``(patterns, rates, states)``.
+    dtype:
+        ``float64`` (paper default) or ``float32`` (the single-precision
+        memory halving of Berger & Stamatakis 2010).
+    num_slots / fraction:
+        Capacity ``m``: either an absolute count or the paper's ``f`` with
+        ``m = max(MIN_SLOTS, round(f · n))``. ``fraction=1.0`` (default)
+        keeps everything resident — the "standard RAxML" configuration.
+    policy:
+        A policy name or :class:`ReplacementPolicy` instance.
+    backing:
+        A :class:`BackingStore`; defaults to an in-RAM backing (suitable
+        for miss-rate experiments; use a file store for real spill).
+    read_skipping:
+        Enable §3.4: a miss with ``write_only=True`` allocates a slot but
+        skips the disk read.
+    track_dirty:
+        Beyond-paper option: skip the write-back of vectors never written
+        since load ("clean evictions"). Off by default to match the paper,
+        which always swaps the full vector out.
+    poison_skipped_reads:
+        Debug aid: fill read-skipped slots with NaN so a kernel that
+        *reads* a write-only vector is caught immediately by tests.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        item_shape: tuple[int, ...],
+        *,
+        dtype=np.float64,
+        num_slots: int | None = None,
+        fraction: float | None = None,
+        policy: str | ReplacementPolicy = "lru",
+        backing: BackingStore | None = None,
+        read_skipping: bool = True,
+        track_dirty: bool = False,
+        poison_skipped_reads: bool = False,
+        policy_kwargs: dict | None = None,
+    ) -> None:
+        if num_items < 1:
+            raise OutOfCoreError(f"need at least one item, got {num_items}")
+        self.num_items = int(num_items)
+        self.item_shape = tuple(int(d) for d in item_shape)
+        self.dtype = np.dtype(dtype)
+        self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
+
+        if num_slots is not None and fraction is not None:
+            raise OutOfCoreError("pass either num_slots or fraction, not both")
+        if num_slots is None:
+            f = 1.0 if fraction is None else float(fraction)
+            if not 0.0 < f <= 1.0:
+                raise OutOfCoreError(f"fraction must be in (0, 1], got {f}")
+            num_slots = int(math.floor(f * self.num_items + 0.5))
+        num_slots = min(self.num_items, max(MIN_SLOTS, int(num_slots)))
+        if self.num_items < MIN_SLOTS:
+            num_slots = self.num_items
+        self.num_slots = num_slots
+
+        if isinstance(policy, str):
+            policy = make_policy(policy, **(policy_kwargs or {}))
+        self.policy = policy
+        self.backing = backing if backing is not None else MemoryBackingStore(
+            self.num_items, self.item_shape, self.dtype
+        )
+        self.read_skipping = bool(read_skipping)
+        self.track_dirty = bool(track_dirty)
+        self.poison_skipped_reads = bool(poison_skipped_reads)
+        self.stats = IoStats()
+
+        # Slot arena: one contiguous block, vector i occupies slots[s] whole.
+        self._slots = np.zeros((self.num_slots, *self.item_shape), dtype=self.dtype)
+        self._slot_item = np.full(self.num_slots, -1, dtype=np.int64)   # item_in_mem
+        self._item_slot = np.full(self.num_items, -1, dtype=np.int64)   # itemvector
+        self._dirty = np.zeros(self.num_slots, dtype=bool)
+        self._free: list[int] = list(range(self.num_slots - 1, -1, -1))
+        self._ever_stored = np.zeros(self.num_items, dtype=bool)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def fraction(self) -> float:
+        """Effective ``f = m / n``."""
+        return self.num_slots / self.num_items
+
+    def is_resident(self, item: int) -> bool:
+        self._check_item(item)
+        return self._item_slot[item] >= 0
+
+    def resident_items(self) -> list[int]:
+        return [int(i) for i in self._slot_item if i >= 0]
+
+    def ram_bytes(self) -> int:
+        """Bytes the slot arena occupies — the paper's ``m · w`` budget."""
+        return self._slots.nbytes
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.num_items:
+            raise OutOfCoreError(f"item {item} out of range [0, {self.num_items})")
+
+    # -- the core access path (paper's getxvector) ----------------------------------
+
+    def get(self, item: int, pins: tuple = (), write_only: bool = False) -> np.ndarray:
+        """Return the RAM address (a numpy view) of vector ``item``.
+
+        Mirrors ``getxvector(i, pin_j, pin_k)``: if ``item`` is not
+        resident, a victim slot is chosen by the replacement strategy —
+        never one holding a pinned item — the victim is swapped out, and
+        ``item`` is swapped in (read elided under read skipping when
+        ``write_only``). The returned view stays valid only until the next
+        ``get`` that may evict it; kernels therefore fetch all operands
+        with mutual pins, exactly as the paper prescribes for the
+        (parent, left child, right child) triple.
+        """
+        self._check_item(item)
+        for p in pins:
+            self._check_item(p)
+        self.stats.requests += 1
+
+        slot = self._item_slot[item]
+        if slot >= 0:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            slot = self._allocate_slot(item, pins)
+            if write_only and self.read_skipping:
+                self.stats.read_skips += 1
+                if self.poison_skipped_reads:
+                    self._slots[slot].fill(np.nan)
+            else:
+                try:
+                    self.backing.read(item, self._slots[slot])
+                except Exception:
+                    # Return the already-vacated slot to the free list so a
+                    # failed swap-in cannot leak capacity (the evicted
+                    # victim was written out before the read was attempted).
+                    self._free.append(slot)
+                    raise
+                self.stats.reads += 1
+                self.stats.bytes_read += self.item_bytes
+            self._slot_item[slot] = item
+            self._item_slot[item] = slot
+            self._dirty[slot] = False
+            self.policy.on_load(item)
+
+        if write_only:
+            self._dirty[slot] = True
+            self._ever_stored[item] = True
+        self.policy.on_access(item, write_only)
+        return self._slots[slot]
+
+    def mark_dirty(self, item: int) -> None:
+        """Declare that a vector obtained read-mostly was actually modified."""
+        self._check_item(item)
+        slot = self._item_slot[item]
+        if slot < 0:
+            raise OutOfCoreError(f"item {item} is not resident")
+        self._dirty[slot] = True
+        self._ever_stored[item] = True
+
+    def _allocate_slot(self, item: int, pins: tuple) -> int:
+        if self._free:
+            return self._free.pop()
+        pinned = {int(p) for p in pins}
+        candidates = [int(i) for i in self._slot_item if i >= 0 and int(i) not in pinned]
+        if not candidates:
+            raise PinnedSlotError(
+                f"all {self.num_slots} slots pinned while requesting item {item} "
+                f"(pins={sorted(pinned)}); the store needs at least "
+                f"{len(pinned) + 1} slots"
+            )
+        victim = int(self.policy.choose_victim(candidates, item))
+        if victim not in candidates:
+            raise OutOfCoreError(
+                f"policy {self.policy.name!r} chose non-candidate victim {victim}"
+            )
+        vslot = int(self._item_slot[victim])
+        self._evict(victim, vslot)
+        return vslot
+
+    def _evict(self, item: int, slot: int) -> None:
+        if self.track_dirty and not self._dirty[slot]:
+            self.stats.write_skips += 1
+        else:
+            self.backing.write(item, self._slots[slot])
+            self.stats.writes += 1
+            self.stats.bytes_written += self.item_bytes
+        self._item_slot[item] = -1
+        self._slot_item[slot] = -1
+        self._dirty[slot] = False
+        self.policy.on_evict(item)
+
+    # -- bulk operations ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every resident vector back to the backing store (kept resident)."""
+        for slot in range(self.num_slots):
+            item = int(self._slot_item[slot])
+            if item >= 0:
+                self.backing.write(item, self._slots[slot])
+                self.stats.writes += 1
+                self.stats.bytes_written += self.item_bytes
+                self._dirty[slot] = False
+
+    def evict_all(self) -> None:
+        """Empty every slot (vectors written back); used between experiment phases."""
+        for slot in range(self.num_slots):
+            item = int(self._slot_item[slot])
+            if item >= 0:
+                self._evict(item, slot)
+                self._free.append(slot)
+
+    def read_item(self, item: int) -> np.ndarray:
+        """Copy of a vector's current contents, resident or not (no stats impact).
+
+        For verification/debugging only — production code uses :meth:`get`.
+        """
+        self._check_item(item)
+        slot = self._item_slot[item]
+        if slot >= 0:
+            return self._slots[slot].copy()
+        out = np.empty(self.item_shape, dtype=self.dtype)
+        self.backing.read(item, out)
+        return out
+
+    def validate(self) -> None:
+        """Internal-consistency check of the two-way slot/item maps."""
+        for slot in range(self.num_slots):
+            item = int(self._slot_item[slot])
+            if item >= 0 and int(self._item_slot[item]) != slot:
+                raise OutOfCoreError(f"slot {slot} ↦ item {item} ↦ slot "
+                                     f"{int(self._item_slot[item])} mismatch")
+        for item in range(self.num_items):
+            slot = int(self._item_slot[item])
+            if slot >= 0 and int(self._slot_item[slot]) != item:
+                raise OutOfCoreError(f"item {item} ↦ slot {slot} ↦ item "
+                                     f"{int(self._slot_item[slot])} mismatch")
+        resident = sum(1 for i in self._slot_item if i >= 0)
+        if resident + len(self._free) != self.num_slots:
+            raise OutOfCoreError("free-list/resident accounting mismatch")
+
+    def close(self) -> None:
+        self.backing.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AncestralVectorStore(n={self.num_items}, m={self.num_slots}, "
+            f"policy={self.policy.name}, w={self.item_bytes}B)"
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AlphabetError(ReproError):
+    """An unknown character/state was encountered while encoding sequences."""
+
+
+class AlignmentError(ReproError):
+    """Malformed multiple sequence alignment (ragged rows, dup names, ...)."""
+
+
+class NewickError(ReproError):
+    """Newick string could not be parsed or serialized."""
+
+
+class TreeError(ReproError):
+    """Structural violation in a tree (bad degree, unknown node, bad edit)."""
+
+
+class ModelError(ReproError):
+    """Invalid substitution-model parameters (negative rates, bad freqs)."""
+
+
+class LikelihoodError(ReproError):
+    """The likelihood engine was used inconsistently (stale CLVs, bad root)."""
+
+
+class OutOfCoreError(ReproError):
+    """Out-of-core vector store misuse or internal inconsistency."""
+
+
+class PinnedSlotError(OutOfCoreError):
+    """No victim slot could be chosen because all candidates are pinned."""
+
+
+class BackingStoreError(OutOfCoreError):
+    """Failure in a backing store (short read/write, closed file, ...)."""
+
+
+class SearchError(ReproError):
+    """Tree-search driver misuse (empty move set, invalid radius, ...)."""
+
+
+class SimulationError(ReproError):
+    """Sequence/tree simulation was configured inconsistently."""

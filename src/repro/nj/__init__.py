@@ -1,0 +1,14 @@
+"""Neighbor Joining — the related-work baseline (paper §2).
+
+The paper contrasts the PLF with Neighbor Joining, "a clustering technique
+that relies on updating an O(n²) distance matrix", whose external-memory
+variants (Wheeler's NINJA, Simonsen et al.) predate any out-of-core PLF.
+We implement classic NJ plus JC-corrected distance matrices: it serves as
+a comparison point for access patterns and as a fast starting-tree builder
+for the ML search.
+"""
+
+from repro.nj.distances import jc69_distances, p_distances
+from repro.nj.neighbor_joining import neighbor_joining
+
+__all__ = ["p_distances", "jc69_distances", "neighbor_joining"]

@@ -1,0 +1,53 @@
+"""Pairwise evolutionary distance matrices from alignments.
+
+Distances are computed over site patterns with multiplicity weights.
+Two codes *mismatch* when their bitmask intersection is empty (no state
+both could be); sites where either taxon is fully unknown (gap) are
+excluded from the denominator — the standard pairwise-deletion treatment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.phylo.msa import Alignment
+
+
+def p_distances(alignment: Alignment) -> np.ndarray:
+    """Symmetric matrix of uncorrected mismatch proportions (p-distances)."""
+    codes = alignment.pattern_codes().astype(np.int64)
+    weights = alignment.compress().weights
+    gap = alignment.alphabet.gap_code
+    n = alignment.num_taxa
+    valid = codes != gap
+    D = np.zeros((n, n))
+    for i in range(n):
+        both = valid[i][None, :] & valid[i + 1:]
+        mism = ((codes[i][None, :] & codes[i + 1:]) == 0) & both
+        denom = (both * weights[None, :]).sum(axis=1)
+        numer = (mism * weights[None, :]).sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            row = np.where(denom > 0, numer / np.maximum(denom, 1e-300), 0.0)
+        D[i, i + 1:] = row
+        D[i + 1:, i] = row
+    return D
+
+
+def jc69_distances(alignment: Alignment, max_distance: float = 5.0) -> np.ndarray:
+    """Jukes–Cantor corrected distances ``d = -(k-1)/k · ln(1 - k·p/(k-1))``.
+
+    ``k`` is the alphabet size (¾ formula for DNA, 19/20 for proteins).
+    Saturated pairs (``p ≥ (k-1)/k``) are clamped to ``max_distance``.
+    """
+    k = alignment.alphabet.num_states
+    if k < 2:
+        raise AlignmentError("JC correction needs at least 2 states")
+    frac = (k - 1.0) / k
+    p = p_distances(alignment)
+    arg = 1.0 - p / frac
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d = np.where(arg > 0, -frac * np.log(np.maximum(arg, 1e-300)), max_distance)
+    d = np.minimum(d, max_distance)
+    np.fill_diagonal(d, 0.0)
+    return d

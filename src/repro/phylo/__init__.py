@@ -1,0 +1,23 @@
+"""Phylogenetics substrate: alignments, trees, models, likelihood, search.
+
+This subpackage is a from-scratch, numpy-vectorized re-implementation of the
+parts of RAxML that the paper's out-of-core layer plugs into: the
+Felsenstein-pruning Phylogenetic Likelihood Function (PLF) under GTR-family
+models with Γ rate heterogeneity, Newton–Raphson branch-length optimization,
+and a lazy-SPR maximum-likelihood tree search.
+"""
+
+from repro.phylo.alphabet import AMINO_ACID, DNA, Alphabet
+from repro.phylo.msa import Alignment
+from repro.phylo.newick import parse_newick, write_newick
+from repro.phylo.tree import Tree
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "AMINO_ACID",
+    "Alignment",
+    "Tree",
+    "parse_newick",
+    "write_newick",
+]

@@ -1,0 +1,214 @@
+"""Biological alphabets and ambiguity-aware state encoding.
+
+The paper stores tip sequences compactly in RAM ("one 32-bit integer is
+sufficient to store 8 nucleotides when ambiguous DNA character encoding is
+used", §3.1): a nucleotide with ambiguity support needs 4 bits, one bit per
+compatible base. We mirror that design: each alphabet maps characters to
+*bitmask codes* over its states, so a tip likelihood for code ``c`` is the
+0/1 indicator vector of the bits set in ``c``. Packing helpers reproduce the
+8-nucleotides-per-``uint32`` layout the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlphabetError
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A state alphabet with ambiguity codes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (``"DNA"``, ``"AA"``).
+    states:
+        The unambiguous state characters, in canonical order. The *state
+        index* of ``states[i]`` is ``i`` and its bitmask code is ``1 << i``.
+    ambiguities:
+        Extra characters mapping to a set of compatible states, e.g. DNA
+        ``"R" -> "AG"``. The gap/unknown character maps to *all* states.
+    gap_chars:
+        Characters treated as "completely unknown" (all bits set).
+    """
+
+    name: str
+    states: str
+    ambiguities: dict[str, str] = field(default_factory=dict)
+    gap_chars: str = "-?"
+
+    def __post_init__(self) -> None:
+        if len(set(self.states)) != len(self.states):
+            raise AlphabetError(f"duplicate states in alphabet {self.name!r}")
+        object.__setattr__(self, "_char_to_code", self._build_table())
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build_table(self) -> dict[str, int]:
+        table: dict[str, int] = {}
+        for i, ch in enumerate(self.states):
+            table[ch.upper()] = 1 << i
+            table[ch.lower()] = 1 << i
+        for ch, members in self.ambiguities.items():
+            code = 0
+            for m in members:
+                idx = self.states.find(m.upper())
+                if idx < 0:
+                    raise AlphabetError(
+                        f"ambiguity {ch!r} refers to unknown state {m!r} in {self.name!r}"
+                    )
+                code |= 1 << idx
+            table[ch.upper()] = code
+            table[ch.lower()] = code
+        all_states = (1 << len(self.states)) - 1
+        for ch in self.gap_chars:
+            table[ch] = all_states
+        return table
+
+    # -- core properties -------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of unambiguous states (4 for DNA, 20 for amino acids)."""
+        return len(self.states)
+
+    @property
+    def num_codes(self) -> int:
+        """Number of possible bitmask codes, i.e. ``2 ** num_states``.
+
+        For DNA this is 16 (4-bit codes); tip-likelihood lookup tables are
+        indexed by code, exactly as in RAxML's ``tipVector``.
+        """
+        return 1 << len(self.states)
+
+    @property
+    def gap_code(self) -> int:
+        """The all-ones code representing a gap / fully unknown character."""
+        return (1 << len(self.states)) - 1
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode_char(self, ch: str) -> int:
+        """Return the bitmask code of a single character.
+
+        Raises :class:`~repro.errors.AlphabetError` on unknown characters.
+        """
+        try:
+            return self._char_to_code[ch]
+        except KeyError:
+            raise AlphabetError(f"character {ch!r} not in alphabet {self.name!r}") from None
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Encode a string into a ``uint8``/``uint32`` array of bitmask codes."""
+        dtype = np.uint8 if self.num_states <= 8 else np.uint32
+        out = np.empty(len(sequence), dtype=dtype)
+        for i, ch in enumerate(sequence):
+            out[i] = self.encode_char(ch)
+        return out
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode bitmask codes back to characters (canonical spelling).
+
+        Codes with several bits set decode to the first matching ambiguity
+        character, or ``'-'`` for the all-ones gap code.
+        """
+        rev: dict[int, str] = {}
+        for ch in self.gap_chars[:1]:
+            rev[self.gap_code] = ch
+        for ch, members in self.ambiguities.items():
+            code = 0
+            for m in members:
+                code |= 1 << self.states.index(m.upper())
+            rev.setdefault(code, ch.upper())
+        for i, ch in enumerate(self.states):
+            rev[1 << i] = ch.upper()
+        try:
+            return "".join(rev[int(c)] for c in codes)
+        except KeyError as exc:
+            raise AlphabetError(f"cannot decode code {exc.args[0]}") from None
+
+    def code_matrix(self) -> np.ndarray:
+        """Return the ``(num_codes, num_states)`` 0/1 tip-indicator matrix.
+
+        Row ``c`` is the tip conditional-likelihood vector for bitmask code
+        ``c``: 1 for every state compatible with the observed character.
+        Row 0 (the impossible empty code) is all zeros and never used.
+        """
+        codes = np.arange(self.num_codes, dtype=np.uint32)[:, None]
+        bits = np.arange(self.num_states, dtype=np.uint32)[None, :]
+        return ((codes >> bits) & 1).astype(np.float64)
+
+    # -- compact packing (paper §3.1) -------------------------------------------
+
+    def bits_per_symbol(self) -> int:
+        """Bits needed per bitmask code (4 for DNA → 8 symbols per uint32)."""
+        return self.num_states
+
+    def pack(self, codes: np.ndarray) -> np.ndarray:
+        """Pack bitmask codes into a dense ``uint32`` array.
+
+        For DNA, 8 codes fit in one ``uint32`` — the layout the paper uses to
+        argue that tip vectors are cheap to keep in RAM.
+        """
+        bits = self.bits_per_symbol()
+        per_word = 32 // bits
+        if per_word == 0:
+            raise AlphabetError(f"{self.name}: symbols wider than 32 bits cannot be packed")
+        n = len(codes)
+        nwords = (n + per_word - 1) // per_word
+        padded = np.zeros(nwords * per_word, dtype=np.uint64)
+        padded[:n] = np.asarray(codes, dtype=np.uint64)
+        shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(bits))
+        words = (padded.reshape(nwords, per_word) << shifts[None, :]).sum(axis=1)
+        return words.astype(np.uint32)
+
+    def unpack(self, words: np.ndarray, n: int) -> np.ndarray:
+        """Inverse of :meth:`pack`; ``n`` is the original symbol count."""
+        bits = self.bits_per_symbol()
+        per_word = 32 // bits
+        mask = np.uint64((1 << bits) - 1)
+        w = np.asarray(words, dtype=np.uint64)[:, None]
+        shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(bits))[None, :]
+        codes = ((w >> shifts) & mask).reshape(-1)[:n]
+        dtype = np.uint8 if self.num_states <= 8 else np.uint32
+        return codes.astype(dtype)
+
+
+#: The DNA alphabet with full IUPAC ambiguity support.
+DNA = Alphabet(
+    name="DNA",
+    states="ACGT",
+    ambiguities={
+        "U": "T",
+        "R": "AG",
+        "Y": "CT",
+        "S": "CG",
+        "W": "AT",
+        "K": "GT",
+        "M": "AC",
+        "B": "CGT",
+        "D": "AGT",
+        "H": "ACT",
+        "V": "ACG",
+        "N": "ACGT",
+        "X": "ACGT",
+        ".": "ACGT",
+    },
+)
+
+#: The 20-state amino-acid alphabet (order follows PAML/RAxML convention).
+AMINO_ACID = Alphabet(
+    name="AA",
+    states="ARNDCQEGHILKMFPSTWYV",
+    ambiguities={
+        "B": "ND",
+        "Z": "QE",
+        "J": "IL",
+        "X": "ARNDCQEGHILKMFPSTWYV",
+        ".": "ARNDCQEGHILKMFPSTWYV",
+    },
+)

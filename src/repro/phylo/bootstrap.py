@@ -1,0 +1,116 @@
+"""Nonparametric (Felsenstein) bootstrap support values.
+
+Columns are resampled with replacement, a tree is inferred on each
+replicate, and each split of a reference tree is annotated with the
+fraction of replicate trees containing it. Resampling operates directly on
+*pattern weights* — a replicate is just a new weight vector over the
+existing site patterns, so no sequence data is copied and each replicate
+engine reuses the compressed alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.phylo.msa import Alignment
+from repro.phylo.tree import Tree
+from repro.utils.rng import as_rng
+
+
+def bootstrap_alignment(alignment: Alignment, rng) -> Alignment:
+    """One bootstrap replicate: sites resampled with replacement."""
+    sites = rng.integers(alignment.num_sites, size=alignment.num_sites)
+    return Alignment(alignment.names,
+                     np.ascontiguousarray(alignment.codes[:, sites]),
+                     alignment.alphabet)
+
+
+def bootstrap_weights(alignment: Alignment, rng) -> np.ndarray:
+    """Replicate pattern weights via multinomial resampling of sites.
+
+    Equivalent to :func:`bootstrap_alignment` + recompression but O(sites)
+    with no data copies: sample ``num_sites`` sites uniformly and count how
+    often each existing pattern was drawn.
+    """
+    comp = alignment.compress()
+    probs = comp.weights / comp.weights.sum()
+    counts = rng.multinomial(comp.num_sites, probs)
+    return counts.astype(np.float64)
+
+
+@dataclass
+class BootstrapResult:
+    """Support analysis output."""
+
+    reference: Tree
+    support: dict[frozenset, float]  # split -> fraction of replicates
+    num_replicates: int
+
+    def support_for_edge(self, u: int, v: int) -> float:
+        """Support of the split induced by internal edge ``(u, v)``."""
+        tree = self.reference
+        side = frozenset(tree.subtree_tips(u, v))
+        if 0 in side:
+            side = frozenset(range(tree.num_tips)) - side
+        return self.support.get(side, 0.0)
+
+    def mean_support(self) -> float:
+        vals = list(self.support.values())
+        return float(np.mean(vals)) if vals else 0.0
+
+
+def bootstrap_support(
+    alignment: Alignment,
+    reference: Tree,
+    infer_tree,
+    *,
+    replicates: int = 100,
+    seed=None,
+) -> BootstrapResult:
+    """Compute split support for ``reference`` over bootstrap replicates.
+
+    Parameters
+    ----------
+    alignment:
+        The original data.
+    reference:
+        The tree to annotate (e.g. the ML tree).
+    infer_tree:
+        Callable ``(Alignment, seed) -> Tree`` used per replicate — e.g.
+        ``lambda aln, s: nj_tree(aln)`` for fast NJ bootstrapping, or a
+        full ML search for publication-grade values.
+    replicates:
+        Number of pseudo-replicates.
+    """
+    if replicates < 1:
+        raise AlignmentError(f"need at least 1 replicate, got {replicates}")
+    rng = as_rng(seed)
+    ref_splits = reference.splits()
+    counts = {split: 0 for split in ref_splits}
+    for rep in range(replicates):
+        replicate = bootstrap_alignment(alignment, rng)
+        tree = infer_tree(replicate, int(rng.integers(1 << 31)))
+        if sorted(tree.names) != sorted(reference.names):
+            raise AlignmentError("replicate tree has different taxa")
+        rep_splits = _splits_by_names(tree, reference)
+        for split in ref_splits:
+            if split in rep_splits:
+                counts[split] += 1
+    support = {s: c / replicates for s, c in counts.items()}
+    return BootstrapResult(reference=reference, support=support,
+                           num_replicates=replicates)
+
+
+def _splits_by_names(tree: Tree, reference: Tree) -> frozenset:
+    """Splits of ``tree`` re-indexed into the reference's tip numbering."""
+    remap = {i: reference.names.index(name) for i, name in enumerate(tree.names)}
+    out = set()
+    for split in tree.splits():
+        mapped = frozenset(remap[t] for t in split)
+        if 0 in mapped:
+            mapped = frozenset(range(reference.num_tips)) - mapped
+        out.add(mapped)
+    return frozenset(out)

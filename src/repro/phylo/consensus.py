@@ -1,0 +1,182 @@
+"""Consensus trees: summarizing tree collections (bootstrap/MCMC output).
+
+Builds strict (100%) and majority-rule consensus topologies from a list of
+trees over the same taxa, via split counting. The greedy construction adds
+compatible splits in order of decreasing frequency, so thresholds below 0.5
+yield the usual greedy ("extended majority rule") consensus.
+
+Because :class:`~repro.phylo.tree.Tree` is strictly binary, consensus
+multifurcations are resolved arbitrarily with **zero-length** branches: the
+splits carrying consensus support are exactly those returned by
+:func:`consensus_splits`; every other split in the returned tree sits on a
+zero-length resolution branch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import TreeError
+from repro.phylo.tree import Tree
+
+
+def _canonical_splits(tree: Tree, names: list[str]) -> set[frozenset]:
+    """Non-trivial splits of ``tree``, expressed over the reference names."""
+    if sorted(tree.names) != sorted(names):
+        raise TreeError("trees must share one taxon set")
+    remap = {i: names.index(name) for i, name in enumerate(tree.names)}
+    out = set()
+    for split in tree.splits():
+        mapped = frozenset(remap[t] for t in split)
+        if 0 in mapped:
+            mapped = frozenset(range(len(names))) - mapped
+        out.add(mapped)
+    return out
+
+
+def split_frequencies(trees: list[Tree]) -> dict[frozenset, float]:
+    """Fraction of input trees containing each non-trivial split.
+
+    Splits are canonicalized over the first tree's taxon names (the side
+    not containing taxon 0).
+    """
+    if not trees:
+        raise TreeError("need at least one tree")
+    names = trees[0].names
+    counts: Counter = Counter()
+    for tree in trees:
+        counts.update(_canonical_splits(tree, names))
+    n = len(trees)
+    return {split: c / n for split, c in counts.items()}
+
+
+def _compatible(a: frozenset, b: frozenset, n: int) -> bool:
+    """Splits are compatible iff some pair of their sides is disjoint."""
+    full = frozenset(range(n))
+    a2, b2 = full - a, full - b
+    return (a.isdisjoint(b) or a.isdisjoint(b2)
+            or a2.isdisjoint(b) or a2.isdisjoint(b2))
+
+
+def consensus_splits(trees: list[Tree], threshold: float = 0.5) -> dict[frozenset, float]:
+    """The splits the consensus keeps, with their frequencies.
+
+    Splits at or above ``threshold`` are accepted greedily in order of
+    decreasing frequency, skipping any split incompatible with one already
+    accepted (only relevant for thresholds < 0.5; above 0.5 all qualifying
+    splits are mutually compatible automatically).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise TreeError(f"threshold must be in (0, 1], got {threshold}")
+    n = trees[0].num_tips
+    freqs = split_frequencies(trees)
+    order = sorted(
+        ((f, tuple(sorted(s)), s) for s, f in freqs.items()
+         if f >= threshold - 1e-12),
+        key=lambda x: (-x[0], x[1]),
+    )
+    accepted: dict[frozenset, float] = {}
+    for f, _, split in order:
+        if all(_compatible(split, other, n) for other in accepted):
+            accepted[split] = f
+    return accepted
+
+
+def consensus_tree(trees: list[Tree], threshold: float = 0.5) -> Tree:
+    """Binary tree realizing the consensus splits (see module docstring)."""
+    names = trees[0].names
+    accepted = consensus_splits(trees, threshold)
+    return tree_from_splits(names, list(accepted))
+
+
+def tree_from_splits(names: list[str], splits: list[frozenset]) -> Tree:
+    """Build a binary tree containing all the given (compatible) splits.
+
+    Multifurcations implied by missing splits are resolved arbitrarily with
+    zero-length branches; the given splits get unit-length branches so they
+    can be told apart downstream.
+    """
+    n = len(names)
+    if n < 3:
+        raise TreeError("need at least 3 taxa")
+    tree = Tree(n, names)
+    # Work on a rooted cluster hierarchy: every accepted split is a cluster
+    # (the side without taxon 0); the root cluster is all taxa except 0...
+    # Simplest rooted view: root above taxon 0. Clusters = splits (never
+    # containing 0) + singletons for tips 1..n-1 + the root cluster.
+    clusters = sorted({frozenset(s) for s in splits}, key=len)
+    for c in clusters:
+        if 0 in c:
+            raise TreeError("splits must be canonical (side without taxon 0)")
+        if not 1 < len(c) < n - 1:
+            raise TreeError(f"trivial split {sorted(c)}")
+
+    counter = [n]
+
+    def fresh() -> int:
+        i = counter[0]
+        counter[0] += 1
+        return i
+
+    def connect(a: int, b: int, length: float) -> None:
+        tree._connect(a, b, length)
+
+    def build(members: frozenset, cluster_pool: list[frozenset]) -> int:
+        """Return a node subtending exactly ``members``; wire its interior.
+
+        Children on accepted-cluster branches get length 1, resolution
+        branches length 0 — so consumers can tell supported splits apart.
+        """
+        if len(members) == 1:
+            (tip,) = members
+            return tip
+        # maximal proper sub-clusters of `members`
+        inside = [c for c in cluster_pool if c < members]
+        direct: list[frozenset] = []
+        for c in sorted(inside, key=len, reverse=True):
+            if not any(c < d for d in direct):
+                direct.append(c)
+        covered: set = set().union(*direct) if direct else set()
+        parts = direct + [frozenset([t]) for t in sorted(members - covered)]
+        children = []
+        for part in parts:
+            node = build(part, [c for c in inside if c <= part])
+            length = 1.0 if part in clusterset or len(part) == 1 else 0.0
+            children.append((node, length))
+        # Chain the children into a binary caterpillar headed at `members`.
+        node, length = children[0]
+        for child, child_len in children[1:-1]:
+            join = fresh()
+            connect(join, node, length)
+            connect(join, child, child_len)
+            node, length = join, 0.0
+        head = fresh()
+        connect(head, node, length)
+        connect(head, children[-1][0], children[-1][1])
+        return head
+
+    clusterset = set(clusters)
+    root_members = frozenset(range(1, n))
+    head = build(root_members, clusters)
+    connect(0, head, 1.0)
+    tree.validate()
+    return tree
+
+
+def annotate_support(reference: Tree, trees: list[Tree]) -> dict[tuple[int, int], float]:
+    """Per-internal-edge split frequency of ``reference`` among ``trees``.
+
+    Returns ``{(u, v): support}`` for every internal edge — the standard
+    way bootstrap or posterior support is attached to a point estimate.
+    """
+    freqs = split_frequencies([reference, *trees])
+    m = len(trees)
+    out = {}
+    for u, v in reference.internal_edges():
+        side = frozenset(reference.subtree_tips(u, v))
+        if 0 in side:
+            side = frozenset(range(reference.num_tips)) - side
+        # remove the reference tree's own contribution
+        f = freqs.get(side, 0.0) * (m + 1)
+        out[(u, v)] = max(0.0, (f - 1.0)) / m if m else 0.0
+    return out

@@ -1,0 +1,452 @@
+"""The likelihood engine: RAxML's evaluate/newview machinery over any store.
+
+:class:`LikelihoodEngine` owns a tree, an alignment, a substitution model
+and a rate model, and computes log-likelihoods by Felsenstein pruning. All
+ancestral-vector traffic flows through a single indirection — the paper's
+``getxvector()`` — so the same engine runs:
+
+* **in-core** (``fraction=1.0``, the "standard RAxML" configuration),
+* **out-of-core** with any slot fraction / replacement policy / backing
+  store (the paper's contribution),
+* against the **paging simulator** (the Figure-5 "standard with paging"
+  baseline) by passing a :class:`~repro.vm.standardstore.PagedStandardStore`.
+
+Correctness contract: for a fixed tree, data and model, the returned
+log-likelihood is bit-identical across all of these configurations
+(paper §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.vecstore import AncestralVectorStore
+from repro.errors import LikelihoodError
+from repro.phylo.likelihood import kernels
+from repro.phylo.likelihood.traversal import (
+    OrientationState,
+    TraversalPlan,
+    plan_edge_traversal,
+)
+from repro.phylo.models.base import ReversibleModel
+from repro.phylo.models.rates import RateModel
+from repro.phylo.msa import Alignment
+from repro.phylo.tree import Tree
+
+
+class LikelihoodEngine:
+    """Compute the PLF on ``tree`` × ``alignment`` under ``model`` + ``rates``.
+
+    Parameters
+    ----------
+    tree:
+        An unrooted binary :class:`Tree`; tip ``i`` corresponds to taxon
+        ``tree.names[i]``, which must exist in the alignment.
+    alignment:
+        The :class:`Alignment` (site patterns are compressed internally).
+    model:
+        A :class:`ReversibleModel` over the alignment's alphabet size.
+    rates:
+        A :class:`RateModel`; defaults to Γ4 with α = 1 (the paper's setup).
+    store:
+        Anything with the vector-store ``get(item, pins, write_only)``
+        protocol. If omitted, an :class:`AncestralVectorStore` is built from
+        ``fraction`` / ``num_slots`` / ``policy`` / ``backing`` /
+        ``read_skipping`` — ``fraction=1.0`` keeps every vector resident.
+    dtype:
+        ``float64`` (default) or ``float32`` for the single-precision mode.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        alignment: Alignment,
+        model: ReversibleModel,
+        rates: RateModel | None = None,
+        *,
+        store=None,
+        fraction: float | None = None,
+        num_slots: int | None = None,
+        policy="lru",
+        backing=None,
+        read_skipping: bool = True,
+        track_dirty: bool = False,
+        poison_skipped_reads: bool = False,
+        policy_kwargs: dict | None = None,
+        dtype=np.float64,
+    ) -> None:
+        if tree.num_tips < 3:
+            raise LikelihoodError("the PLF engine needs at least 3 taxa")
+        if alignment.alphabet.num_states != model.num_states:
+            raise LikelihoodError(
+                f"model has {model.num_states} states but alphabet "
+                f"{alignment.alphabet.name} has {alignment.alphabet.num_states}"
+            )
+        self.tree = tree
+        self.alignment = alignment
+        self.model = model
+        self.rates = rates if rates is not None else RateModel.gamma(1.0, 4)
+        self.dtype = np.dtype(dtype)
+        self.scaling = kernels.ScalingScheme(self.dtype)
+
+        comp = alignment.compress()
+        self.num_patterns = comp.num_patterns
+        self.pattern_weights = comp.weights.astype(np.float64)
+        pattern_codes = alignment.pattern_codes()
+        # Tip i of the tree maps to the alignment row with the same name.
+        self._tip_codes = np.empty((tree.num_tips, self.num_patterns), dtype=np.int64)
+        for tip in range(tree.num_tips):
+            row = alignment.index_of(tree.names[tip])
+            self._tip_codes[tip] = pattern_codes[row]
+        self._code_matrix = alignment.alphabet.code_matrix().astype(self.dtype)
+
+        C = self.rates.num_categories
+        S = model.num_states
+        self.clv_shape = (self.num_patterns, C, S)
+        self.num_inner = tree.num_inner
+
+        if store is None:
+            store = AncestralVectorStore(
+                self.num_inner,
+                self.clv_shape,
+                dtype=self.dtype,
+                fraction=fraction,
+                num_slots=num_slots,
+                policy=policy,
+                backing=backing,
+                read_skipping=read_skipping,
+                track_dirty=track_dirty,
+                poison_skipped_reads=poison_skipped_reads,
+                policy_kwargs=policy_kwargs,
+            )
+        elif fraction is not None or num_slots is not None:
+            raise LikelihoodError("pass either an explicit store or a geometry, not both")
+        self.store = store
+        self._bind_topological_policy()
+
+        # Per-site underflow-scaling counters stay in RAM (like tips, they
+        # are small compared to the CLVs themselves — paper §3.1).
+        self.scale_counts = np.zeros((self.num_inner, self.num_patterns), dtype=np.int32)
+        self.orientation = OrientationState(tree)
+        self._root_edge: tuple[int, int] | None = None
+        # Transition matrices are tiny relative to CLVs; caching them per
+        # exact branch length is free memory-wise and saves eigen work on
+        # repeated traversals. Exact float keys keep results bit-identical.
+        self._p_cache: dict[float, np.ndarray] = {}
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def _bind_topological_policy(self) -> None:
+        """Give a Topological policy its tree-distance provider (§3.3)."""
+        policy = getattr(self.store, "policy", None)
+        if policy is not None and getattr(policy, "name", "") == "topological":
+            if getattr(policy, "distance_provider", None) is None:
+                n = self.tree.num_tips
+
+                def distances(requested_item: int) -> np.ndarray:
+                    return self.tree.hop_distances_from(n + requested_item)[n:]
+
+                policy.distance_provider = distances
+
+    def item(self, node: int) -> int:
+        """Store item id of an inner node (tips have no ancestral vector)."""
+        if self.tree.is_tip(node):
+            raise LikelihoodError(f"tip {node} has no ancestral vector")
+        return node - self.tree.num_tips
+
+    def _inner_pins(self, nodes) -> tuple[int, ...]:
+        return tuple(self.item(x) for x in nodes if not self.tree.is_tip(x))
+
+    @property
+    def stats(self):
+        """The store's :class:`~repro.core.stats.IoStats`."""
+        return self.store.stats
+
+    def default_edge(self) -> tuple[int, int]:
+        """The canonical evaluation edge: tip 0 and its attachment node."""
+        (nbr,) = self.tree.neighbors(0)
+        return (0, nbr)
+
+    # -- transition matrices -----------------------------------------------------------
+
+    _P_CACHE_LIMIT = 8192
+
+    def _P(self, u: int, v: int) -> np.ndarray:
+        t = self.tree.branch_length(u, v)
+        P = self._p_cache.get(t)
+        if P is None:
+            P = self.model.transition_matrices(t, self.rates.rates)
+            P = np.ascontiguousarray(P.astype(self.dtype, copy=False))
+            P.setflags(write=False)
+            if len(self._p_cache) < self._P_CACHE_LIMIT:
+                self._p_cache[t] = P
+        return P
+
+    # -- traversal execution ---------------------------------------------------------
+
+    def plan(self, u: int, v: int, full: bool = False) -> TraversalPlan:
+        """Plan the CLV recomputations needed to evaluate edge ``(u, v)``."""
+        return plan_edge_traversal(self.tree, self.orientation, u, v, full)
+
+    def plan_accesses(self, plan: TraversalPlan) -> list[tuple[int, tuple, bool]]:
+        """The store access sequence a plan will generate (for prefetching).
+
+        Returns ``(item, pins, write_only)`` triples in execution order —
+        computable ahead of time because the plan fixes the order (§3.4).
+        """
+        out: list[tuple[int, tuple, bool]] = []
+        for step in plan.steps:
+            children = [c for c in (step.left, step.right) if not self.tree.is_tip(c)]
+            for c in children:
+                pins = self._inner_pins([x for x in (step.left, step.right, step.node)
+                                         if x != c])
+                out.append((self.item(c), pins, False))
+            out.append((self.item(step.node),
+                        self._inner_pins([step.left, step.right]), True))
+        return out
+
+    def execute_plan(self, plan: TraversalPlan) -> None:
+        """Run every pruning step of a plan through the vector store.
+
+        Operand fetch order and mutual pinning follow §3.2: the two child
+        vectors are fetched (pinning each other and the target), then the
+        target is fetched **write-only** — the read-skipping hook — and the
+        kernel fills it. Orientation is committed after each step so a
+        failure leaves a consistent state.
+        """
+        tree = self.tree
+        for step in plan.steps:
+            node, left, right = step.node, step.left, step.right
+            P_left = self._P(node, left)
+            P_right = self._P(node, right)
+
+            l_clv = r_clv = None
+            l_codes = r_codes = None
+            counts = self.scale_counts[self.item(node)]
+            counts.fill(0)
+            if tree.is_tip(left):
+                l_codes = self._tip_codes[left]
+            else:
+                l_clv = self.store.get(self.item(left),
+                                       pins=self._inner_pins([right, node]),
+                                       write_only=False)
+                counts += self.scale_counts[self.item(left)]
+            if tree.is_tip(right):
+                r_codes = self._tip_codes[right]
+            else:
+                r_clv = self.store.get(self.item(right),
+                                       pins=self._inner_pins([left, node]),
+                                       write_only=False)
+                counts += self.scale_counts[self.item(right)]
+            out = self.store.get(self.item(node),
+                                 pins=self._inner_pins([left, right]),
+                                 write_only=True)
+            kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
+                               l_codes, r_codes, self._code_matrix,
+                               counts, self.scaling)
+            self.orientation.set(node, step.toward)
+
+    # -- likelihood evaluation ----------------------------------------------------------
+
+    def edge_loglikelihood(self, u: int, v: int, full: bool = False) -> float:
+        """Log-likelihood with the virtual root on edge ``(u, v)``.
+
+        Recomputes exactly the stale CLVs on both sides (all of them with
+        ``full=True`` — the paper's ``-f z`` worst case), then combines the
+        two end vectors across the branch.
+        """
+        plan = self.plan(u, v, full=full)
+        self.execute_plan(plan)
+        self._root_edge = (u, v)
+
+        tree = self.tree
+        u_clv = v_clv = None
+        u_codes = v_codes = None
+        counts = np.zeros(self.num_patterns, dtype=np.int64)
+        if tree.is_tip(u):
+            u_codes = self._tip_codes[u]
+        else:
+            u_clv = self.store.get(self.item(u), pins=self._inner_pins([v]),
+                                   write_only=False)
+            counts += self.scale_counts[self.item(u)]
+        if tree.is_tip(v):
+            v_codes = self._tip_codes[v]
+        else:
+            v_clv = self.store.get(self.item(v), pins=self._inner_pins([u]),
+                                   write_only=False)
+            counts += self.scale_counts[self.item(v)]
+
+        site_l = kernels.edge_site_likelihoods(
+            self._P(u, v), self.model.frequencies.astype(self.dtype),
+            self.rates.weights.astype(self.dtype),
+            u_clv, v_clv, u_codes, v_codes, self._code_matrix,
+        )
+        return kernels.log_likelihood_from_sites(
+            site_l, self.pattern_weights, counts, self.scaling
+        )
+
+    def loglikelihood(self) -> float:
+        """Log-likelihood at the last evaluation edge (or the default edge)."""
+        u, v = self._root_edge if self._root_edge is not None else self.default_edge()
+        if not self.tree.has_edge(u, v):
+            u, v = self.default_edge()
+        return self.edge_loglikelihood(u, v)
+
+    def site_loglikelihoods(self) -> np.ndarray:
+        """Per-original-site log-likelihoods (expanded from patterns)."""
+        u, v = self._root_edge if self._root_edge is not None else self.default_edge()
+        plan = self.plan(u, v)
+        self.execute_plan(plan)
+        self._root_edge = (u, v)
+        tree = self.tree
+        u_clv = v_clv = None
+        u_codes = v_codes = None
+        counts = np.zeros(self.num_patterns, dtype=np.int64)
+        if tree.is_tip(u):
+            u_codes = self._tip_codes[u]
+        else:
+            u_clv = self.store.get(self.item(u), pins=self._inner_pins([v]))
+            counts += self.scale_counts[self.item(u)]
+        if tree.is_tip(v):
+            v_codes = self._tip_codes[v]
+        else:
+            v_clv = self.store.get(self.item(v), pins=self._inner_pins([u]))
+            counts += self.scale_counts[self.item(v)]
+        site_l = kernels.edge_site_likelihoods(
+            self._P(u, v), self.model.frequencies.astype(self.dtype),
+            self.rates.weights.astype(self.dtype),
+            u_clv, v_clv, u_codes, v_codes, self._code_matrix,
+        )
+        per_pattern = np.log(site_l) - counts * self.scaling.log_multiplier
+        return per_pattern[self.alignment.compress().pattern_of_site]
+
+    def full_traversals(self, count: int = 1) -> float:
+        """Recompute *every* ancestral vector ``count`` times; return lnL.
+
+        Reproduces the paper's §4.3 benchmark mode (``-f z``): "reading in
+        a given, fixed, tree topology and computing five full tree
+        traversals ... the worst-case analysis, since full tree traversals
+        exhibit the smallest degree of vector locality."
+        """
+        if count < 1:
+            raise LikelihoodError(f"count must be >= 1, got {count}")
+        u, v = self.default_edge()
+        lnl = 0.0
+        for _ in range(count):
+            lnl = self.edge_loglikelihood(u, v, full=True)
+        return lnl
+
+    # -- mutations (invalidation-aware wrappers around Tree edits) ---------------------
+
+    def set_branch_length(self, u: int, v: int, length: float) -> None:
+        """Change a branch length and invalidate dependent CLVs."""
+        self.tree.set_branch_length(u, v, length)
+        self.orientation.after_branch_change(u, v)
+
+    def apply_spr(self, prune_node: int, subtree_neighbor: int,
+                  target_edge: tuple[int, int]):
+        """Apply an SPR move; returns the undo record for :meth:`undo_spr`."""
+        undo = self.tree.spr_move(prune_node, subtree_neighbor, target_edge)
+        self.orientation.after_spr(prune_node, undo.old_a, undo.old_b,
+                                   undo.target_u, undo.target_v)
+        return undo
+
+    def undo_spr(self, undo) -> None:
+        """Reverse an SPR (topology, lengths and CLV validity)."""
+        self.tree.undo_spr(undo)
+        # The reverse move regrafts from between (target_u, target_v) back
+        # into the reconstituted (old_a, old_b) edge: same invalidation with
+        # the two locations swapped.
+        self.orientation.after_spr(undo.prune_node, undo.target_u, undo.target_v,
+                                   undo.old_a, undo.old_b)
+
+    def apply_nni(self, edge: tuple[int, int], variant: int = 0):
+        """Apply an NNI move; returns the undo record for :meth:`undo_nni`."""
+        undo = self.tree.nni(edge, variant)
+        self.orientation.after_nni(undo.u, undo.v, undo.swapped_u, undo.swapped_v)
+        return undo
+
+    def undo_nni(self, undo) -> None:
+        self.tree.undo_nni(undo)
+        # After the reverse swap the exchanged subtrees are back; the
+        # invalidation geometry is identical with the roles flipped.
+        self.orientation.after_nni(undo.u, undo.v, undo.swapped_v, undo.swapped_u)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached CLV orientation (e.g. after a model change)."""
+        self.orientation.invalidate_all()
+
+    def set_rates(self, rates: RateModel) -> None:
+        """Swap the rate model (same category count); invalidates all CLVs."""
+        if rates.num_categories != self.rates.num_categories:
+            raise LikelihoodError(
+                "category count is fixed by the CLV geometry; rebuild the engine "
+                f"to go from {self.rates.num_categories} to {rates.num_categories}"
+            )
+        self.rates = rates
+        self._p_cache.clear()
+        self.invalidate_all()
+
+    def set_model(self, model: ReversibleModel) -> None:
+        """Swap the substitution model; invalidates all CLVs."""
+        if model.num_states != self.model.num_states:
+            raise LikelihoodError("state count is fixed by the CLV geometry")
+        self.model = model
+        self._p_cache.clear()
+        self.invalidate_all()
+
+    def set_pattern_weights(self, weights) -> None:
+        """Override the per-pattern multiplicities (bootstrap resampling).
+
+        A nonparametric bootstrap replicate is exactly the original pattern
+        set with multinomially resampled weights
+        (:func:`repro.phylo.bootstrap.bootstrap_weights`), so swapping the
+        weight vector re-targets the engine to a replicate without touching
+        any CLV: conditional likelihoods are weight-independent — only the
+        final weighted sum changes. Zero weights are allowed (patterns
+        absent from the replicate).
+        """
+        weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+        if weights.shape != (self.num_patterns,):
+            raise LikelihoodError(
+                f"need {self.num_patterns} pattern weights, got {weights.shape}"
+            )
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise LikelihoodError("pattern weights must be finite and >= 0")
+        self.pattern_weights = weights
+
+    def reset_pattern_weights(self) -> None:
+        """Restore the alignment's original pattern multiplicities."""
+        self.pattern_weights = self.alignment.compress().weights.astype(np.float64)
+
+    # -- optimization façade (shared protocol with PartitionedEngine) ----------
+
+    def optimize_branch(self, u: int, v: int, **kwargs) -> float:
+        """Newton–Raphson optimize one branch; see
+        :func:`repro.phylo.likelihood.branch_opt.optimize_branch`."""
+        from repro.phylo.likelihood.branch_opt import optimize_branch
+
+        return optimize_branch(self, u, v, **kwargs)
+
+    def optimize_all_branches(self, passes: int = 1, **kwargs) -> float:
+        """Smooth every branch; see
+        :func:`repro.phylo.likelihood.branch_opt.smooth_all_branches`."""
+        from repro.phylo.likelihood.branch_opt import smooth_all_branches
+
+        return smooth_all_branches(self, passes=passes, **kwargs)
+
+    # -- memory accounting --------------------------------------------------------------
+
+    def ancestral_vector_bytes(self) -> int:
+        """Width ``w`` of one ancestral vector in bytes (paper §3.1)."""
+        return int(np.prod(self.clv_shape)) * self.dtype.itemsize
+
+    def total_ancestral_bytes(self) -> int:
+        """``(n-2) · w`` — the footprint the out-of-core store bounds."""
+        return self.num_inner * self.ancestral_vector_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LikelihoodEngine({self.tree.num_tips} taxa, {self.num_patterns} patterns, "
+            f"{self.model.name}+{self.rates.num_categories}cat, store={self.store!r})"
+        )

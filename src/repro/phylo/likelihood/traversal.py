@@ -1,0 +1,211 @@
+"""Traversal planning: which ancestral vectors must be recomputed, in what order.
+
+RAxML does not re-traverse the whole tree for every candidate topology —
+"only a small fraction of ancestral probability vectors needs to be accessed
+and updated for each tree that is analyzed" (§3.1). That behaviour comes
+from *CLV orientation bookkeeping*: each inner node's stored vector is valid
+for one direction (toward the virtual root used when it was computed). This
+module plans the minimal post-order recomputation list for evaluating the
+likelihood at a given edge, given the current orientation state.
+
+The plan is computed **before** any likelihood arithmetic, which is what
+makes the paper's read-skipping rule (§3.4) possible: every vector a plan
+step writes is write-only on its first access, so its stale disk contents
+never need to be read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LikelihoodError
+from repro.phylo.tree import Tree
+
+
+@dataclass(frozen=True)
+class TraversalStep:
+    """Recompute the CLV of ``node`` from children ``left`` and ``right``.
+
+    ``left``/``right`` point away from the virtual root; the CLV written at
+    ``node`` becomes oriented toward ``toward`` (its parent on the path to
+    the root edge).
+    """
+
+    node: int
+    left: int
+    right: int
+    toward: int
+
+
+@dataclass(frozen=True)
+class TraversalPlan:
+    """An ordered recomputation schedule for evaluating edge ``(u, v)``.
+
+    ``steps`` are in valid post-order (children before parents). The
+    *write-only* property holds for every step by construction: a planned
+    node's previous contents are never read.
+    """
+
+    root_u: int
+    root_v: int
+    steps: tuple[TraversalStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def touched_nodes(self) -> list[int]:
+        return [s.node for s in self.steps]
+
+
+class OrientationState:
+    """Validity/orientation bookkeeping for all inner-node CLVs.
+
+    ``orient[x]`` is the neighbor of inner node ``x`` toward which the
+    stored CLV of ``x`` "looks" (its parent at computation time), or ``-1``
+    when the CLV is invalid. Invariant maintained jointly with the engine:
+    ``orient[x] = p ≠ -1`` implies the stored CLV of ``x`` equals the
+    conditional likelihood of the subtree at ``x`` away from ``p`` under
+    the *current* topology and branch lengths.
+    """
+
+    def __init__(self, tree: Tree) -> None:
+        self.tree = tree
+        self.orient = np.full(tree.num_nodes, -1, dtype=np.int64)
+
+    def invalidate_all(self) -> None:
+        self.orient.fill(-1)
+
+    def is_valid_toward(self, node: int, parent: int) -> bool:
+        return self.orient[node] == parent
+
+    def set(self, node: int, parent: int) -> None:
+        self.orient[node] = parent
+
+    def num_valid(self) -> int:
+        return int((self.orient[self.tree.num_tips:] >= 0).sum())
+
+    # -- invalidation after mutations -------------------------------------------
+
+    def _next_hops(self, source: int) -> np.ndarray:
+        """First node on the path from every node to ``source`` (BFS)."""
+        tree = self.tree
+        hop = np.full(tree.num_nodes, -1, dtype=np.int64)
+        hop[source] = source
+        q = deque([source])
+        while q:
+            x = q.popleft()
+            for y in tree.neighbors(x):
+                if hop[y] < 0:
+                    hop[y] = x
+                    q.append(y)
+        return hop
+
+    def _invalidate_below_sources(self, sources: list[int]) -> None:
+        """Invalidate every node that has any of ``sources`` in its subtree.
+
+        A node ``x``'s CLV covers the subtree away from ``orient[x]``; a
+        change localized at a source node can only affect ``x`` if the path
+        from ``x`` to that source leaves through a child — i.e. the BFS
+        next-hop differs from ``orient[x]``.
+        """
+        tree = self.tree
+        for src in sources:
+            hop = self._next_hops(src)
+            for x in tree.inner_nodes():
+                o = self.orient[x]
+                if o >= 0 and x != src and hop[x] != o:
+                    self.orient[x] = -1
+
+    def after_branch_change(self, u: int, v: int) -> None:
+        """Invalidate for a length change of edge ``(u, v)``.
+
+        The endpoints' own CLVs do not include their shared edge, so they
+        stay valid when oriented across it; every node with the edge below
+        it is invalidated.
+        """
+        if not self.tree.is_tip(u) and self.orient[u] >= 0 and self.orient[u] != v:
+            self.orient[u] = -1
+        if not self.tree.is_tip(v) and self.orient[v] >= 0 and self.orient[v] != u:
+            self.orient[v] = -1
+        self._invalidate_below_sources([u])
+
+    def after_spr(self, p: int, a: int, b: int, tu: int, tv: int) -> None:
+        """Invalidate after regrafting the subtree at ``p`` from edge (a,b)'s
+        former junction into the former edge ``(tu, tv)``.
+
+        Boundary nodes whose orientation pointed *through* the modified
+        junction keep a valid CLV and are remapped to the replacement
+        neighbor; everything with a modified junction below it is
+        invalidated. Call with the roles from the applied move; for an undo
+        call again with old/new locations swapped.
+        """
+        tree = self.tree
+        self.orient[p] = -1
+        for node, old_nbr, new_nbr in ((a, p, b), (b, p, a), (tu, tv, p), (tv, tu, p)):
+            if tree.is_tip(node):
+                continue
+            if self.orient[node] == old_nbr:
+                # The CLV looked *across* the modified junction; its own
+                # subtree content is untouched — remap to the new neighbor.
+                self.orient[node] = new_nbr
+            elif self.orient[node] >= 0:
+                # Any other orientation has the modified junction below it.
+                self.orient[node] = -1
+        self._invalidate_below_sources([a, p])
+
+    def after_nni(self, u: int, v: int, su: int, sv: int) -> None:
+        """Invalidate after an NNI that swapped ``su`` (was at ``u``) with
+        ``sv`` (was at ``v``)."""
+        tree = self.tree
+        self.orient[u] = -1
+        self.orient[v] = -1
+        for node, old_nbr, new_nbr in ((su, u, v), (sv, v, u)):
+            if tree.is_tip(node):
+                continue
+            if self.orient[node] == old_nbr:
+                self.orient[node] = new_nbr
+            elif self.orient[node] >= 0:
+                self.orient[node] = -1
+        self._invalidate_below_sources([u])
+
+
+def plan_edge_traversal(tree: Tree, state: OrientationState, u: int, v: int,
+                        full: bool = False) -> TraversalPlan:
+    """Plan the minimal recomputation to evaluate the likelihood at ``(u, v)``.
+
+    Walks each side of the edge away from the other endpoint; descends only
+    into inner nodes whose stored CLV is not already valid toward the root
+    edge. With ``full=True`` every inner node is scheduled regardless of
+    validity — the paper's ``-f z`` full-traversal mode (§4.3).
+    """
+    if not tree.has_edge(u, v):
+        raise LikelihoodError(f"({u},{v}) is not an edge of the tree")
+    steps: list[TraversalStep] = []
+    for start, parent in ((u, v), (v, u)):
+        _plan_side(tree, state, start, parent, full, steps)
+    return TraversalPlan(u, v, tuple(steps))
+
+
+def _plan_side(tree: Tree, state: OrientationState, node: int, parent: int,
+               full: bool, steps: list[TraversalStep]) -> None:
+    if tree.is_tip(node):
+        return
+    # Iterative post-order, pruning at already-valid nodes (unless full).
+    stack: list[tuple[int, int, bool]] = [(node, parent, False)]
+    while stack:
+        x, par, expanded = stack.pop()
+        if tree.is_tip(x):
+            continue
+        if not full and state.is_valid_toward(x, par):
+            continue
+        kids = [y for y in tree.neighbors(x) if y != par]
+        if len(kids) != 2:
+            raise LikelihoodError(f"inner node {x} has degree {len(kids) + 1}")
+        if expanded:
+            steps.append(TraversalStep(x, kids[0], kids[1], par))
+        else:
+            stack.append((x, par, True))
+            stack.extend((k, x, False) for k in kids)

@@ -1,0 +1,155 @@
+"""Model selection: information criteria and likelihood-ratio tests.
+
+Choosing the substitution model is the step *before* any large analysis of
+the kind the paper targets. This module provides the standard tools —
+AIC/AICc/BIC over a candidate set, and the χ² likelihood-ratio test for
+nested models — operating on fitted engines, so model comparison also runs
+out-of-core unchanged.
+
+Free-parameter counting follows the jModelTest convention: branch lengths
+(2n−3) + substitution-model parameters (+5 GTR rates, +3 free frequencies,
++1 κ, ...) + rate-heterogeneity parameters (+1 for Γ's α, +1 for p_inv).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.stats import chi2
+
+from repro.errors import ModelError
+from repro.phylo.likelihood.branch_opt import smooth_all_branches
+from repro.phylo.likelihood.engine import LikelihoodEngine
+from repro.phylo.likelihood.model_opt import optimize_alpha
+from repro.phylo.models.dna import GTR, HKY85, JC69, K80
+
+
+def count_free_parameters(engine: LikelihoodEngine,
+                          include_branch_lengths: bool = True) -> int:
+    """Free parameters of the engine's model configuration."""
+    model = engine.model
+    k = 0
+    if include_branch_lengths:
+        k += 2 * engine.tree.num_tips - 3
+    name = model.name.upper()
+    if name.startswith("JC"):
+        k += 0
+    elif name.startswith("K80"):
+        k += 1
+    elif name.startswith("HKY"):
+        k += 1 + 3  # kappa + 3 free frequencies
+    elif name.startswith("GTR"):
+        k += 5 + 3  # 5 free exchangeabilities + 3 free frequencies
+    else:
+        # generic reversible model: count off-diagonal exchangeabilities - 1
+        s = model.num_states
+        k += s * (s - 1) // 2 - 1 + (s - 1)
+    if engine.rates.alpha is not None:
+        k += 1
+    if engine.rates.p_invariant > 0:
+        k += 1
+    return k
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One fitted candidate model."""
+
+    name: str
+    log_likelihood: float
+    num_parameters: int
+    sample_size: int
+
+    @property
+    def aic(self) -> float:
+        return 2.0 * self.num_parameters - 2.0 * self.log_likelihood
+
+    @property
+    def aicc(self) -> float:
+        k, n = self.num_parameters, self.sample_size
+        if n - k - 1 <= 0:
+            return math.inf
+        return self.aic + 2.0 * k * (k + 1) / (n - k - 1)
+
+    @property
+    def bic(self) -> float:
+        return self.num_parameters * math.log(self.sample_size) \
+            - 2.0 * self.log_likelihood
+
+
+def fit_model(tree, alignment, model, rates, *, optimize_shape: bool = True,
+              branch_passes: int = 2, **engine_kwargs) -> FitResult:
+    """Fit one candidate: branch lengths (+ α) optimized, scores returned."""
+    engine = LikelihoodEngine(tree.copy(), alignment, model, rates,
+                              **engine_kwargs)
+    smooth_all_branches(engine, passes=branch_passes)
+    if optimize_shape and engine.rates.alpha is not None:
+        optimize_alpha(engine)
+        smooth_all_branches(engine, passes=1)
+    label = model.name + (f"+G{engine.rates.num_categories}"
+                          if engine.rates.alpha is not None else "")
+    return FitResult(
+        name=label,
+        log_likelihood=engine.loglikelihood(),
+        num_parameters=count_free_parameters(engine),
+        sample_size=alignment.num_sites,
+    )
+
+
+def candidate_models(frequencies) -> list:
+    """The standard nested DNA ladder: JC69 → K80 → HKY85 → GTR."""
+    return [
+        JC69(),
+        K80(2.0),
+        HKY85(2.0, tuple(frequencies)),
+        GTR((1.0, 2.0, 1.0, 1.0, 2.0, 1.0), tuple(frequencies)),
+    ]
+
+
+def select_model(tree, alignment, rates_factory, criterion: str = "aic",
+                 models=None, **fit_kwargs) -> tuple[FitResult, list[FitResult]]:
+    """Fit candidates and pick the best by ``aic``/``aicc``/``bic``.
+
+    ``rates_factory()`` builds a fresh rate model per candidate (so each
+    gets its own α optimization). Returns ``(winner, all_fits)``.
+    """
+    if criterion not in ("aic", "aicc", "bic"):
+        raise ModelError(f"criterion must be aic/aicc/bic, got {criterion!r}")
+    if models is None:
+        models = candidate_models(alignment.empirical_frequencies())
+    fits = [fit_model(tree, alignment, m, rates_factory(), **fit_kwargs)
+            for m in models]
+    winner = min(fits, key=lambda f: getattr(f, criterion))
+    return winner, fits
+
+
+@dataclass(frozen=True)
+class LrtResult:
+    """Likelihood-ratio test between nested models."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+
+def likelihood_ratio_test(null: FitResult, alternative: FitResult) -> LrtResult:
+    """χ² LRT: does the richer model fit significantly better?
+
+    ``null`` must be nested in ``alternative`` (fewer parameters, lnL no
+    higher up to round-off).
+    """
+    df = alternative.num_parameters - null.num_parameters
+    if df <= 0:
+        raise ModelError(
+            f"alternative must have more parameters than the null "
+            f"({alternative.num_parameters} vs {null.num_parameters})"
+        )
+    stat = 2.0 * (alternative.log_likelihood - null.log_likelihood)
+    stat = max(stat, 0.0)  # round-off guard: nested lnL can dip epsilon below
+    return LrtResult(statistic=stat, degrees_of_freedom=df,
+                     p_value=float(chi2.sf(stat, df)))

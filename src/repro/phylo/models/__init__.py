@@ -1,0 +1,24 @@
+"""Substitution models for the PLF.
+
+Time-reversible Markov models of character substitution: the GTR family for
+DNA (JC69, K80, HKY85, GTR) and 20-state protein models (Poisson and
+user-loadable empirical matrices), combined with discrete Γ rate
+heterogeneity (Yang 1994) and an optional proportion of invariant sites.
+"""
+
+from repro.phylo.models.base import ReversibleModel
+from repro.phylo.models.dna import GTR, HKY85, JC69, K80
+from repro.phylo.models.protein import EmpiricalProteinModel, Poisson
+from repro.phylo.models.rates import RateModel, discrete_gamma_rates
+
+__all__ = [
+    "ReversibleModel",
+    "JC69",
+    "K80",
+    "HKY85",
+    "GTR",
+    "Poisson",
+    "EmpiricalProteinModel",
+    "RateModel",
+    "discrete_gamma_rates",
+]

@@ -1,0 +1,95 @@
+"""DNA substitution models: JC69, K80, HKY85 and the full GTR.
+
+All are instances of :class:`~repro.phylo.models.base.ReversibleModel` over
+the 4-state ``ACGT`` alphabet. The paper's experiments run DNA data under
+GTR with Γ rate heterogeneity (§4.1); JC69 additionally has a closed-form
+``P(t)`` used as a numerical cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.phylo.models.base import ReversibleModel
+
+#: Index order of the 6 GTR exchangeabilities: AC, AG, AT, CG, CT, GT
+GTR_RATE_ORDER = ("AC", "AG", "AT", "CG", "CT", "GT")
+
+
+def _dna_exchangeabilities(six: np.ndarray) -> np.ndarray:
+    six = np.asarray(six, dtype=np.float64)
+    if six.shape != (6,):
+        raise ModelError(f"need 6 exchangeabilities (AC,AG,AT,CG,CT,GT), got {six.shape}")
+    if np.any(six < 0):
+        raise ModelError("exchangeabilities must be non-negative")
+    ac, ag, at, cg, ct, gt = six
+    R = np.array(
+        [
+            [0.0, ac, ag, at],
+            [ac, 0.0, cg, ct],
+            [ag, cg, 0.0, gt],
+            [at, ct, gt, 0.0],
+        ]
+    )
+    return R
+
+
+class GTR(ReversibleModel):
+    """General Time-Reversible model (Tavaré 1986).
+
+    Parameters
+    ----------
+    rates:
+        Six exchangeabilities in :data:`GTR_RATE_ORDER`; conventionally
+        GT is fixed to 1.
+    frequencies:
+        Base frequencies ``(πA, πC, πG, πT)``.
+    """
+
+    def __init__(self, rates=(1.0,) * 6, frequencies=(0.25,) * 4, name: str = "GTR") -> None:
+        super().__init__(_dna_exchangeabilities(np.asarray(rates)), frequencies, name)
+        self.rates6 = np.asarray(rates, dtype=np.float64)
+
+
+class JC69(GTR):
+    """Jukes & Cantor 1969: equal rates, equal frequencies."""
+
+    def __init__(self) -> None:
+        super().__init__((1.0,) * 6, (0.25,) * 4, name="JC69")
+
+    @staticmethod
+    def analytic_p(t: float) -> np.ndarray:
+        """Closed-form JC69 transition matrix for the normalized Q.
+
+        With the expected-rate-1 normalization, ``P_same = 1/4 + 3/4 e^{-4t/3}``
+        and ``P_diff = 1/4 - 1/4 e^{-4t/3}``. Used to validate the generic
+        eigendecomposition pathway.
+        """
+        e = np.exp(-4.0 * t / 3.0)
+        same = 0.25 + 0.75 * e
+        diff = 0.25 - 0.25 * e
+        P = np.full((4, 4), diff)
+        np.fill_diagonal(P, same)
+        return P
+
+
+class K80(GTR):
+    """Kimura 1980 two-parameter model: transition/transversion ratio κ."""
+
+    def __init__(self, kappa: float = 2.0) -> None:
+        if kappa <= 0:
+            raise ModelError(f"kappa must be positive, got {kappa}")
+        # transitions: AG, CT; transversions: the other four.
+        super().__init__((1.0, kappa, 1.0, 1.0, kappa, 1.0), (0.25,) * 4, name="K80")
+        self.kappa = float(kappa)
+
+
+class HKY85(GTR):
+    """Hasegawa–Kishino–Yano 1985: κ plus unequal base frequencies."""
+
+    def __init__(self, kappa: float = 2.0, frequencies=(0.25,) * 4) -> None:
+        if kappa <= 0:
+            raise ModelError(f"kappa must be positive, got {kappa}")
+        super().__init__((1.0, kappa, 1.0, 1.0, kappa, 1.0), frequencies, name="HKY85")
+        self.kappa = float(kappa)

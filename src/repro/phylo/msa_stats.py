@@ -1,0 +1,144 @@
+"""Alignment diagnostics: the sanity checks run before a large analysis.
+
+Composition-homogeneity testing matters for the GTR-family models used
+here (they assume stationary base composition across the tree); gap and
+identity summaries guide partitioning/filtering decisions for the
+genome-scale datasets whose memory footprint the paper addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import chi2
+
+from repro.phylo.msa import Alignment
+
+
+@dataclass(frozen=True)
+class AlignmentSummary:
+    """Headline statistics of an alignment."""
+
+    num_taxa: int
+    num_sites: int
+    num_patterns: int
+    gap_fraction: float
+    proportion_invariant: float
+    mean_pairwise_identity: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_taxa} taxa x {self.num_sites} sites "
+            f"({self.num_patterns} patterns); gaps {self.gap_fraction:.1%}, "
+            f"invariant {self.proportion_invariant:.1%}, "
+            f"mean identity {self.mean_pairwise_identity:.1%}"
+        )
+
+
+def gap_fraction(alignment: Alignment) -> float:
+    """Fraction of fully-unknown (gap) characters in the matrix."""
+    return float((alignment.codes == alignment.alphabet.gap_code).mean())
+
+
+def proportion_invariant_sites(alignment: Alignment) -> float:
+    """Fraction of columns where all taxa could share one state.
+
+    A column is (potentially) invariant when the bitwise AND over its codes
+    is non-empty — ambiguities count as compatible.
+    """
+    col_and = alignment.codes[0].copy()
+    for row in alignment.codes[1:]:
+        col_and &= row
+    return float((col_and != 0).mean())
+
+
+def mean_pairwise_identity(alignment: Alignment) -> float:
+    """Average fraction of compatible characters over all taxon pairs."""
+    from repro.nj.distances import p_distances
+
+    D = p_distances(alignment)
+    n = alignment.num_taxa
+    if n < 2:
+        return 1.0
+    iu = np.triu_indices(n, 1)
+    return float(1.0 - D[iu].mean())
+
+
+def per_taxon_composition(alignment: Alignment) -> np.ndarray:
+    """``(taxa, states)`` matrix of per-taxon state frequencies.
+
+    Ambiguity mass is split equally over compatible states; gaps skipped.
+    """
+    tip = alignment.alphabet.code_matrix()
+    gap = alignment.alphabet.gap_code
+    S = alignment.alphabet.num_states
+    out = np.zeros((alignment.num_taxa, S))
+    for i in range(alignment.num_taxa):
+        row = alignment.codes[i]
+        row = row[row != gap]
+        if row.size == 0:
+            out[i] = 1.0 / S
+            continue
+        contrib = tip[row.astype(np.int64)]
+        contrib = contrib / contrib.sum(axis=1, keepdims=True)
+        freq = contrib.sum(axis=0)
+        out[i] = freq / freq.sum()
+    return out
+
+
+@dataclass(frozen=True)
+class CompositionTest:
+    """χ² test of base-composition homogeneity across taxa."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when there is no evidence of composition heterogeneity."""
+        return self.p_value >= 0.05
+
+
+def composition_chi2_test(alignment: Alignment) -> CompositionTest:
+    """The standard (PAUP*-style) χ² composition-homogeneity test.
+
+    Observed per-taxon state counts are compared to expectations under the
+    pooled composition; df = (taxa − 1)(states − 1). The test is known to
+    be liberal (sites are not independent), but it is the conventional
+    screen.
+    """
+    tip = alignment.alphabet.code_matrix()
+    gap = alignment.alphabet.gap_code
+    S = alignment.alphabet.num_states
+    n = alignment.num_taxa
+    counts = np.zeros((n, S))
+    for i in range(n):
+        row = alignment.codes[i]
+        row = row[row != gap]
+        if row.size:
+            contrib = tip[row.astype(np.int64)]
+            counts[i] = (contrib / contrib.sum(axis=1, keepdims=True)).sum(axis=0)
+    row_tot = counts.sum(axis=1, keepdims=True)
+    col_tot = counts.sum(axis=0, keepdims=True)
+    grand = counts.sum()
+    expected = row_tot @ col_tot / grand
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(expected > 0, (counts - expected) ** 2 / expected, 0.0)
+    stat = float(terms.sum())
+    df = (n - 1) * (S - 1)
+    return CompositionTest(statistic=stat, degrees_of_freedom=df,
+                           p_value=float(chi2.sf(stat, df)))
+
+
+def summarize(alignment: Alignment) -> AlignmentSummary:
+    """One-call overview used by examples and the CLI."""
+    return AlignmentSummary(
+        num_taxa=alignment.num_taxa,
+        num_sites=alignment.num_sites,
+        num_patterns=alignment.num_patterns,
+        gap_fraction=gap_fraction(alignment),
+        proportion_invariant=proportion_invariant_sites(alignment),
+        mean_pairwise_identity=mean_pairwise_identity(alignment),
+    )

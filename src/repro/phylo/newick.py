@@ -1,0 +1,243 @@
+"""Newick tree serialization.
+
+Parses rooted or unrooted Newick strings into the library's unrooted
+:class:`~repro.phylo.tree.Tree` (a rooted binary Newick is unrooted by
+dissolving the degree-2 root, the standard convention) and writes trees
+back out as trifurcating unrooted Newick. Both directions are iterative,
+so trees with many thousands of taxa (the paper uses 8192) do not hit
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NewickError
+from repro.phylo.tree import Tree
+
+
+@dataclass
+class _PNode:
+    name: str | None = None
+    length: float | None = None
+    children: list["_PNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _tokenize(text: str):
+    """Yield Newick tokens: punctuation chars and label/length strings."""
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "(),:;":
+            yield ch
+            i += 1
+        elif ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise NewickError("unterminated quoted label")
+            yield text[i + 1 : j]
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in "(),:;" and not text[j].isspace():
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def _parse_tree(text: str) -> _PNode:
+    tokens = list(_tokenize(text))
+    if not tokens:
+        raise NewickError("empty Newick string")
+    root = _PNode()
+    stack = [root]
+    expect_length = False
+    saw_semicolon = False
+    for tok in tokens:
+        if saw_semicolon:
+            raise NewickError("trailing content after ';'")
+        cur = stack[-1]
+        if tok == "(":
+            child = _PNode()
+            cur.children.append(child)
+            stack.append(child)
+            expect_length = False
+        elif tok == ",":
+            if len(stack) < 2:
+                raise NewickError("',' outside of any group")
+            stack.pop()
+            child = _PNode()
+            stack[-1].children.append(child)
+            stack.append(child)
+            expect_length = False
+        elif tok == ")":
+            if len(stack) < 2:
+                raise NewickError("unbalanced ')'")
+            stack.pop()
+            expect_length = False
+        elif tok == ":":
+            expect_length = True
+        elif tok == ";":
+            saw_semicolon = True
+        else:
+            if expect_length:
+                try:
+                    cur.length = float(tok)
+                except ValueError:
+                    raise NewickError(f"bad branch length {tok!r}") from None
+                expect_length = False
+            else:
+                if cur.name is not None:
+                    raise NewickError(f"node has two labels: {cur.name!r}, {tok!r}")
+                cur.name = tok
+    if len(stack) != 1:
+        raise NewickError("unbalanced '(' in Newick string")
+    if len(root.children) == 1 and root.name is None:
+        # "(A,B,C);" parses with an extra anonymous wrapper — unwrap it.
+        only = root.children[0]
+        if only.length is None:
+            root = only
+    return root
+
+
+def parse_newick(text: str, default_length: float = Tree.DEFAULT_BRANCH_LENGTH) -> Tree:
+    """Parse a Newick string into an unrooted binary :class:`Tree`.
+
+    Tips are numbered ``0..n-1`` in order of appearance; their labels become
+    ``tree.names``. A bifurcating (rooted) top level is converted to the
+    equivalent unrooted tree by fusing the two root edges. Missing branch
+    lengths default to ``default_length``. Multifurcations (other than the
+    conventional trifurcating root) are rejected.
+    """
+    root = _parse_tree(text)
+    if root.is_leaf:
+        raise NewickError("Newick string has no groups (single label)")
+
+    # Collect leaves in appearance order.
+    leaves: list[_PNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            leaves.append(node)
+        else:
+            stack.extend(reversed(node.children))
+    n = len(leaves)
+    if n < 2:
+        raise NewickError(f"tree has {n} leaves; need at least 2")
+    names = []
+    for i, leaf in enumerate(leaves):
+        if leaf.name is None:
+            raise NewickError("unlabelled leaf")
+        names.append(leaf.name)
+    if len(set(names)) != len(names):
+        raise NewickError("duplicate leaf labels")
+
+    leaf_ids = {id(leaf): i for i, leaf in enumerate(leaves)}
+    tree = Tree(n, names)
+
+    if n == 2:
+        lens = [c.length if c.length is not None else default_length for c in root.children]
+        if len(root.children) != 2 or not all(c.is_leaf for c in root.children):
+            raise NewickError("a 2-leaf tree must be (A,B);")
+        tree._connect(0, 1, lens[0] + lens[1])
+        return tree
+
+    next_inner = [n]
+
+    def node_id(p: _PNode) -> int:
+        if p.is_leaf:
+            return leaf_ids[id(p)]
+        i = next_inner[0]
+        next_inner[0] += 1
+        if i >= tree.num_nodes:
+            raise NewickError("tree is not binary (too many internal nodes)")
+        return i
+
+    def length_of(p: _PNode) -> float:
+        return p.length if p.length is not None else default_length
+
+    # Iteratively wire up children below each internal node.
+    if len(root.children) == 2:
+        a, b = root.children
+        if a.is_leaf and b.is_leaf:
+            raise NewickError("degenerate rooted 2-leaf tree with n>2")
+        # Fuse the root: connect a and b directly with summed lengths.
+        ia = _build(tree, a, node_id, length_of)
+        ib = _build(tree, b, node_id, length_of)
+        tree._connect(ia, ib, length_of(a) + length_of(b))
+    elif len(root.children) == 3:
+        r = node_id(root)
+        for c in root.children:
+            ic = _build(tree, c, node_id, length_of)
+            tree._connect(r, ic, length_of(c))
+    else:
+        raise NewickError(
+            f"top-level multifurcation of degree {len(root.children)} is not binary"
+        )
+    tree.validate()
+    return tree
+
+
+def _build(tree: Tree, sub: _PNode, node_id, length_of) -> int:
+    """Wire the subtree below ``sub`` into ``tree``; return ``sub``'s node id."""
+    my_id = node_id(sub)
+    stack = [(sub, my_id)]
+    while stack:
+        p, pid = stack.pop()
+        if p.is_leaf:
+            continue
+        if len(p.children) != 2:
+            raise NewickError(
+                f"internal multifurcation of degree {len(p.children) + 1} is not binary"
+            )
+        for c in p.children:
+            cid = node_id(c)
+            tree._connect(pid, cid, length_of(c))
+            stack.append((c, cid))
+    return my_id
+
+
+def write_newick(tree: Tree, precision: int = 6) -> str:
+    """Serialize an unrooted tree as trifurcating Newick rooted next to tip 0.
+
+    The inner node adjacent to tip 0 becomes the printed trifurcation, so
+    ``parse_newick(write_newick(t))`` reproduces the topology and branch
+    lengths exactly (tip numbering may permute; names are authoritative).
+    """
+    if tree.num_tips == 2:
+        ln = tree.branch_length(0, 1) / 2.0
+        return (
+            f"({tree.names[0]}:{ln:.{precision}g},{tree.names[1]}:{ln:.{precision}g});"
+        )
+    (anchor,) = tree.neighbors(0)
+
+    def subtree_str(node: int, parent: int) -> str:
+        # Iterative post-order string construction.
+        parts: dict[int, list[str]] = {}
+        stack = [(node, parent, False)]
+        result: dict[tuple[int, int], str] = {}
+        while stack:
+            x, par, expanded = stack.pop()
+            bl = tree.branch_length(x, par)
+            if tree.is_tip(x):
+                result[(x, par)] = f"{tree.names[x]}:{bl:.{precision}g}"
+                continue
+            kids = [y for y in tree.neighbors(x) if y != par]
+            if expanded:
+                inner = ",".join(result[(k, x)] for k in kids)
+                result[(x, par)] = f"({inner}):{bl:.{precision}g}"
+            else:
+                stack.append((x, par, True))
+                stack.extend((k, x, False) for k in kids)
+        return result[(node, parent)]
+
+    children = list(tree.neighbors(anchor))
+    parts = [subtree_str(c, anchor) for c in children]
+    return "(" + ",".join(parts) + ");"

@@ -1,0 +1,106 @@
+"""Fitch parsimony — fast topology scoring and starting trees.
+
+RAxML uses parsimony both for building starting trees (randomized stepwise
+addition) and for cheap move pre-screening. Fitch's algorithm maps
+perfectly onto the library's bitmask encoding: a node's candidate state set
+is the intersection of its children's sets when non-empty (no mutation),
+else their union (one mutation). All patterns are scored simultaneously
+with vectorized bit operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.phylo.msa import Alignment
+from repro.phylo.tree import Tree
+from repro.utils.rng import as_rng
+
+
+def fitch_score(tree: Tree, tip_codes: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted parsimony score of ``tree`` for pattern code matrix ``tip_codes``.
+
+    ``tip_codes`` is ``(num_tips, patterns)`` of bitmask codes (gap = all
+    bits, which correctly never forces a mutation); ``weights`` are pattern
+    multiplicities. The score is independent of rooting.
+    """
+    if tip_codes.shape[0] != tree.num_tips:
+        raise TreeError(
+            f"{tip_codes.shape[0]} code rows for {tree.num_tips} tips"
+        )
+    num_patterns = tip_codes.shape[1]
+    states = np.zeros((tree.num_nodes, num_patterns), dtype=tip_codes.dtype)
+    states[: tree.num_tips] = tip_codes
+    # Root next to the first *attached* tip so partially built trees (during
+    # stepwise addition) score correctly over their attached taxa.
+    root_tip = next((t for t in range(tree.num_tips) if tree.degree(t)), None)
+    if root_tip is None:
+        raise TreeError("tree has no attached tips")
+    (anchor,) = tree.neighbors(root_tip)
+    score = 0.0
+    for node, left, right in tree.postorder_edge(root_tip, anchor):
+        inter = states[left] & states[right]
+        empty = inter == 0
+        score += float(weights[empty].sum())
+        states[node] = np.where(empty, states[left] | states[right], inter)
+    # Combine across the root edge.
+    root_inter = states[root_tip] & states[anchor]
+    score += float(weights[root_inter == 0].sum())
+    return score
+
+
+def alignment_fitch_score(tree: Tree, alignment: Alignment) -> float:
+    """Parsimony score of ``tree`` on ``alignment`` (taxa matched by name)."""
+    codes = alignment.pattern_codes()
+    weights = alignment.compress().weights
+    ordered = np.stack([codes[alignment.index_of(tree.names[t])]
+                        for t in range(tree.num_tips)])
+    return fitch_score(tree, ordered, weights)
+
+
+def stepwise_addition_tree(alignment: Alignment, seed=None,
+                           sample_edges: int | None = None) -> Tree:
+    """Randomized stepwise-addition parsimony starting tree (RAxML style).
+
+    Taxa are inserted in random order; each is placed on the edge that
+    minimizes the full-tree Fitch score. ``sample_edges`` caps how many
+    candidate edges are scored per insertion (uniformly sampled), trading
+    quality for speed on large taxon counts. Exhaustive placement is
+    O(n³ · patterns) and fine for a few hundred taxa.
+    """
+    rng = as_rng(seed)
+    n = alignment.num_taxa
+    if n < 3:
+        raise TreeError("stepwise addition needs at least 3 taxa")
+    codes = alignment.pattern_codes()
+    weights = alignment.compress().weights
+    order = list(rng.permutation(n))
+    names = alignment.names
+    tree = Tree(n, names)
+    inner0 = n
+    for tip in order[:3]:
+        tree._connect(tip, inner0, Tree.DEFAULT_BRANCH_LENGTH)
+    tip_codes = np.zeros((n, codes.shape[1]), dtype=codes.dtype)
+    for t in range(n):
+        tip_codes[t] = codes[alignment.index_of(names[t])]
+
+    for tip in order[3:]:
+        edges = list(tree.edges())
+        if sample_edges is not None and len(edges) > sample_edges:
+            idx = rng.choice(len(edges), size=sample_edges, replace=False)
+            edges = [edges[i] for i in idx]
+        best_edge = None
+        best_score = np.inf
+        for edge in edges:
+            inner = tree.insert_tip(tip, edge)
+            # Score only over the taxa attached so far: detached tips have
+            # zero-degree and postorder never reaches them.
+            score = fitch_score(tree, tip_codes, weights)
+            if score < best_score:
+                best_score = score
+                best_edge = edge
+            tree.remove_tip(tip)
+        tree.insert_tip(tip, best_edge)
+    tree.validate()
+    return tree

@@ -1,0 +1,14 @@
+"""Maximum-likelihood tree search: lazy SPR, NNI, and the full driver.
+
+The search layer reproduces the access pattern that the paper's evaluation
+measures: RAxML's *lazy SPR* technique (§4.2 — "in most cases only
+re-optimizing three branch lengths after a change of the tree topology"),
+which is the main source of the ancestral-vector locality that keeps
+out-of-core miss rates below 10% at ``f = 0.25``.
+"""
+
+from repro.phylo.search.driver import SearchResult, ml_search
+from repro.phylo.search.nni import nni_round
+from repro.phylo.search.spr import lazy_spr_round
+
+__all__ = ["ml_search", "SearchResult", "lazy_spr_round", "nni_round"]

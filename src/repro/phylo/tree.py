@@ -1,0 +1,510 @@
+"""Unrooted binary phylogenetic trees.
+
+The PLF is defined on unrooted binary trees (paper §3.1): the ``n`` extant
+taxa sit at tips and the ``n - 2`` inner nodes are ancestors whose
+*ancestral probability vectors* dominate memory. This module provides the
+topology substrate: node numbering matches RAxML's convention —
+
+* tips have ids ``0 .. n-1``;
+* inner nodes have ids ``n .. 2n-3`` (so ancestral vector ``i`` of the
+  out-of-core store corresponds to inner node ``n + i``).
+
+Topological edits (SPR, NNI, tip insertion) are provided with undo records
+so a tree search can cheaply back out rejected moves, and hop-distance
+queries support the paper's *Topological* replacement strategy (§3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.utils.rng import as_rng
+
+
+def _key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class SprUndo:
+    """Record to reverse an :meth:`Tree.spr_move` (apply via :meth:`Tree.undo_spr`)."""
+
+    prune_node: int
+    subtree_neighbor: int
+    old_a: int
+    old_b: int
+    old_len_pa: float
+    old_len_pb: float
+    target_u: int
+    target_v: int
+    old_len_target: float
+
+
+@dataclass
+class NniUndo:
+    """Record to reverse an :meth:`Tree.nni` move."""
+
+    u: int
+    v: int
+    swapped_u: int
+    swapped_v: int
+
+
+class Tree:
+    """Mutable unrooted binary tree over ``num_tips`` labelled tips.
+
+    Internally an adjacency-list structure: ``neighbors[x]`` holds the 1
+    (tip) or 3 (inner) adjacent node ids; branch lengths live in a dict
+    keyed by the sorted node pair. All high-level edits keep the tree a
+    valid unrooted binary tree or raise :class:`~repro.errors.TreeError`.
+    """
+
+    DEFAULT_BRANCH_LENGTH = 0.1
+
+    def __init__(self, num_tips: int, names: list[str] | None = None) -> None:
+        if num_tips < 2:
+            raise TreeError(f"need at least 2 tips, got {num_tips}")
+        self._n = num_tips
+        self.names = list(names) if names is not None else [f"t{i}" for i in range(num_tips)]
+        if len(self.names) != num_tips:
+            raise TreeError(f"{len(self.names)} names for {num_tips} tips")
+        total = 2 * num_tips - 2 if num_tips >= 3 else 2
+        self._neighbors: list[list[int]] = [[] for _ in range(total)]
+        self._lengths: dict[tuple[int, int], float] = {}
+
+    # -- identity & counters ---------------------------------------------------
+
+    @property
+    def num_tips(self) -> int:
+        return self._n
+
+    @property
+    def num_inner(self) -> int:
+        return self._n - 2 if self._n >= 3 else 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n + self.num_inner
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._lengths)
+
+    def is_tip(self, node: int) -> bool:
+        return 0 <= node < self._n
+
+    def degree(self, node: int) -> int:
+        return len(self._neighbors[node])
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        return tuple(self._neighbors[node])
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def inner_nodes(self) -> range:
+        return range(self._n, self.num_nodes)
+
+    def edges(self):
+        """Iterate edges as sorted ``(u, v)`` pairs."""
+        return iter(sorted(self._lengths.keys()))
+
+    def internal_edges(self) -> list[tuple[int, int]]:
+        """Edges whose both endpoints are inner nodes (NNI candidates)."""
+        return [e for e in self.edges() if not self.is_tip(e[0]) and not self.is_tip(e[1])]
+
+    # -- low-level wiring -------------------------------------------------------
+
+    def _connect(self, u: int, v: int, length: float) -> None:
+        if u == v:
+            raise TreeError(f"self-edge at node {u}")
+        if v in self._neighbors[u]:
+            raise TreeError(f"edge ({u},{v}) already exists")
+        self._neighbors[u].append(v)
+        self._neighbors[v].append(u)
+        self._lengths[_key(u, v)] = float(length)
+
+    def _disconnect(self, u: int, v: int) -> float:
+        try:
+            self._neighbors[u].remove(v)
+            self._neighbors[v].remove(u)
+            return self._lengths.pop(_key(u, v))
+        except (ValueError, KeyError):
+            raise TreeError(f"edge ({u},{v}) does not exist") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return _key(u, v) in self._lengths
+
+    def branch_length(self, u: int, v: int) -> float:
+        try:
+            return self._lengths[_key(u, v)]
+        except KeyError:
+            raise TreeError(f"edge ({u},{v}) does not exist") from None
+
+    def set_branch_length(self, u: int, v: int, length: float) -> None:
+        if length < 0:
+            raise TreeError(f"negative branch length {length} on ({u},{v})")
+        key = _key(u, v)
+        if key not in self._lengths:
+            raise TreeError(f"edge ({u},{v}) does not exist")
+        self._lengths[key] = float(length)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def star3(cls, names: list[str] | None = None) -> "Tree":
+        """The unique unrooted tree on 3 tips (one inner node)."""
+        t = cls(3, names)
+        inner = 3
+        for tip in range(3):
+            t._connect(tip, inner, cls.DEFAULT_BRANCH_LENGTH)
+        return t
+
+    @classmethod
+    def random_topology(cls, num_tips: int, seed=None, names=None,
+                        branch_length=None) -> "Tree":
+        """Uniform random unrooted binary topology by sequential addition.
+
+        Tip ``k`` (``k >= 3``) is attached to a uniformly chosen existing
+        edge, which yields the uniform distribution over labelled unrooted
+        binary topologies. Branch lengths default to
+        :attr:`DEFAULT_BRANCH_LENGTH`.
+        """
+        rng = as_rng(seed)
+        bl = cls.DEFAULT_BRANCH_LENGTH if branch_length is None else branch_length
+        if num_tips < 3:
+            t = cls(num_tips, names)
+            t._connect(0, 1, bl)
+            return t
+        t = cls(num_tips, names)
+        inner = num_tips
+        for tip in range(3):
+            t._connect(tip, inner, bl)
+        for k in range(3, num_tips):
+            all_edges = list(t._lengths.keys())
+            u, v = all_edges[rng.integers(len(all_edges))]
+            t.insert_tip(k, (u, v), branch_length=bl)
+        return t
+
+    def copy(self) -> "Tree":
+        t = Tree(self._n, self.names)
+        t._neighbors = [list(nb) for nb in self._neighbors]
+        t._lengths = dict(self._lengths)
+        return t
+
+    # -- tip insertion (stepwise addition substrate) ------------------------------
+
+    def insert_tip(self, tip: int, edge: tuple[int, int], branch_length=None,
+                   inner: int | None = None) -> int:
+        """Attach unattached ``tip`` into ``edge`` via a fresh inner node.
+
+        The edge ``(u, v)`` is split at a new inner node ``w``; its length is
+        divided evenly between the two halves. Returns ``w``. Used both by
+        random-topology generation and stepwise-addition starting trees.
+        """
+        if self._neighbors[tip]:
+            raise TreeError(f"tip {tip} is already attached")
+        u, v = edge
+        if inner is None:
+            inner = next(
+                (w for w in self.inner_nodes() if not self._neighbors[w]), None
+            )
+            if inner is None:
+                raise TreeError("no free inner node available for insertion")
+        old = self._disconnect(u, v)
+        bl = self.DEFAULT_BRANCH_LENGTH if branch_length is None else branch_length
+        self._connect(u, inner, old / 2.0)
+        self._connect(inner, v, old / 2.0)
+        self._connect(tip, inner, bl)
+        return inner
+
+    def remove_tip(self, tip: int) -> tuple[int, int]:
+        """Detach ``tip`` and dissolve its inner attachment node.
+
+        Returns the edge ``(a, b)`` restored by merging the two half-edges.
+        The inner node becomes free for reuse by :meth:`insert_tip`.
+        """
+        if not self.is_tip(tip) or not self._neighbors[tip]:
+            raise TreeError(f"node {tip} is not an attached tip")
+        (inner,) = self._neighbors[tip]
+        self._disconnect(tip, inner)
+        rest = list(self._neighbors[inner])
+        if len(rest) != 2:
+            raise TreeError(f"attachment node {inner} does not have degree 3")
+        a, b = rest
+        la = self._disconnect(inner, a)
+        lb = self._disconnect(inner, b)
+        self._connect(a, b, la + lb)
+        return _key(a, b)
+
+    # -- traversal -----------------------------------------------------------------
+
+    def postorder_edge(self, u: int, v: int) -> list[tuple[int, int, int]]:
+        """Post-order over both sides of the virtual-root edge ``(u, v)``.
+
+        Returns ``(node, left_child, right_child)`` triples for every inner
+        node, children pointing *away* from the root edge — exactly the
+        Felsenstein-pruning evaluation order (paper §3.1). Tips produce no
+        triple. The two triples nearest the root are last.
+        """
+        if not self.has_edge(u, v):
+            raise TreeError(f"({u},{v}) is not an edge")
+        out: list[tuple[int, int, int]] = []
+        out.extend(self.postorder_subtree(u, v))
+        out.extend(self.postorder_subtree(v, u))
+        return out
+
+    def postorder_subtree(self, node: int, parent: int) -> list[tuple[int, int, int]]:
+        """Post-order triples of the subtree rooted at ``node`` away from ``parent``."""
+        out: list[tuple[int, int, int]] = []
+        # Iterative DFS so 8192-taxon trees do not hit the recursion limit.
+        stack: list[tuple[int, int, bool]] = [(node, parent, False)]
+        while stack:
+            x, par, expanded = stack.pop()
+            if self.is_tip(x):
+                continue
+            kids = [y for y in self._neighbors[x] if y != par]
+            if len(kids) != 2:
+                raise TreeError(f"inner node {x} has {len(kids) + 1} neighbors")
+            if expanded:
+                out.append((x, kids[0], kids[1]))
+            else:
+                stack.append((x, par, True))
+                stack.extend((k, x, False) for k in kids)
+        return out
+
+    def subtree_nodes(self, node: int, parent: int) -> list[int]:
+        """All nodes in the subtree at ``node`` looking away from ``parent``."""
+        out = []
+        stack = [(node, parent)]
+        while stack:
+            x, par = stack.pop()
+            out.append(x)
+            stack.extend((y, x) for y in self._neighbors[x] if y != par)
+        return out
+
+    def subtree_tips(self, node: int, parent: int) -> list[int]:
+        return [x for x in self.subtree_nodes(node, parent) if self.is_tip(x)]
+
+    # -- distances (Topological replacement strategy, §3.3) --------------------------
+
+    def hop_distances_from(self, source: int) -> np.ndarray:
+        """Hop count (number of intermediate nodes + 1) from ``source`` to all nodes.
+
+        The paper defines node distance as "the number of nodes along the
+        unique path" between two nodes; BFS over the unweighted topology
+        computes it for all targets in ``O(n)``.
+        """
+        dist = np.full(self.num_nodes, -1, dtype=np.int64)
+        dist[source] = 0
+        q = deque([source])
+        while q:
+            x = q.popleft()
+            for y in self._neighbors[x]:
+                if dist[y] < 0:
+                    dist[y] = dist[x] + 1
+                    q.append(y)
+        return dist
+
+    def path(self, u: int, v: int) -> list[int]:
+        """The unique simple path from ``u`` to ``v`` (inclusive)."""
+        prev = {u: u}
+        q = deque([u])
+        while q:
+            x = q.popleft()
+            if x == v:
+                break
+            for y in self._neighbors[x]:
+                if y not in prev:
+                    prev[y] = x
+                    q.append(y)
+        if v not in prev:
+            raise TreeError(f"no path from {u} to {v} (disconnected tree?)")
+        out = [v]
+        while out[-1] != u:
+            out.append(prev[out[-1]])
+        return out[::-1]
+
+    def patristic_distance(self, u: int, v: int) -> float:
+        """Sum of branch lengths along the path from ``u`` to ``v``."""
+        p = self.path(u, v)
+        return float(sum(self.branch_length(a, b) for a, b in zip(p, p[1:])))
+
+    # -- SPR -----------------------------------------------------------------------
+
+    def spr_move(self, prune_node: int, subtree_neighbor: int,
+                 target_edge: tuple[int, int]) -> SprUndo:
+        """Subtree-Pruning-and-Regrafting.
+
+        The subtree hanging off inner node ``prune_node`` in the direction of
+        ``subtree_neighbor`` is pruned (dissolving ``prune_node`` from its two
+        remaining neighbors ``a``/``b``, which become directly connected) and
+        regrafted into ``target_edge``, re-using ``prune_node`` as the new
+        attachment point. Returns an undo record for :meth:`undo_spr`.
+        """
+        p, s = prune_node, subtree_neighbor
+        if self.is_tip(p):
+            raise TreeError(f"prune point {p} must be an inner node")
+        if s not in self._neighbors[p]:
+            raise TreeError(f"{s} is not adjacent to prune point {p}")
+        rest = [x for x in self._neighbors[p] if x != s]
+        a, b = rest
+        tu, tv = target_edge
+        if not self.has_edge(tu, tv):
+            raise TreeError(f"target ({tu},{tv}) is not an edge")
+        if {tu, tv} & {p}:
+            raise TreeError("target edge touches the prune point")
+        forbidden = set(self.subtree_nodes(s, p))
+        if tu in forbidden or tv in forbidden:
+            raise TreeError("target edge lies inside the pruned subtree")
+        if _key(tu, tv) == _key(a, b):
+            raise TreeError("target edge equals the edge left by pruning")
+
+        la = self._disconnect(p, a)
+        lb = self._disconnect(p, b)
+        self._connect(a, b, la + lb)
+        lt = self._disconnect(tu, tv)
+        self._connect(tu, p, lt / 2.0)
+        self._connect(p, tv, lt / 2.0)
+        return SprUndo(p, s, a, b, la, lb, tu, tv, lt)
+
+    def undo_spr(self, undo: SprUndo) -> None:
+        """Exactly reverse a previous :meth:`spr_move` (lengths restored)."""
+        p = undo.prune_node
+        self._disconnect(undo.target_u, p)
+        self._disconnect(p, undo.target_v)
+        self._connect(undo.target_u, undo.target_v, undo.old_len_target)
+        self._disconnect(undo.old_a, undo.old_b)
+        self._connect(p, undo.old_a, undo.old_len_pa)
+        self._connect(p, undo.old_b, undo.old_len_pb)
+
+    def spr_candidates(self, prune_node: int, subtree_neighbor: int,
+                       radius: int | None = None) -> list[tuple[int, int]]:
+        """Target edges reachable for regrafting the given pruned subtree.
+
+        ``radius`` limits the rearrangement distance (in hops from the prune
+        point in the *remaining* tree), mirroring RAxML's rearrangement
+        radius. The edge closed by pruning and edges inside the subtree are
+        excluded.
+        """
+        p, s = prune_node, subtree_neighbor
+        rest = [x for x in self._neighbors[p] if x != s]
+        if len(rest) != 2:
+            raise TreeError(f"{p} is not a valid prune point")
+        a, b = rest
+        forbidden = set(self.subtree_nodes(s, p)) | {p}
+        # BFS in the remaining tree starting from a and b (distance 1 each).
+        dist = {a: 1, b: 1}
+        q = deque([a, b])
+        while q:
+            x = q.popleft()
+            if radius is not None and dist[x] >= radius:
+                continue
+            for y in self._neighbors[x]:
+                if y in forbidden or y in dist:
+                    continue
+                dist[y] = dist[x] + 1
+                q.append(y)
+        reach = set(dist)
+        out = []
+        closed = _key(a, b)
+        for u, v in self.edges():
+            if u in forbidden or v in forbidden:
+                continue
+            if (u in reach or v in reach) and _key(u, v) != closed:
+                out.append((u, v))
+        return out
+
+    # -- NNI -----------------------------------------------------------------------
+
+    def nni(self, edge: tuple[int, int], variant: int = 0) -> NniUndo:
+        """Nearest-Neighbor Interchange across internal ``edge``.
+
+        ``variant`` 0 or 1 selects which of the two alternative topologies
+        around the edge is produced. Returns an undo record (an NNI is its
+        own inverse given the swapped pair).
+        """
+        u, v = edge
+        if self.is_tip(u) or self.is_tip(v):
+            raise TreeError(f"NNI edge ({u},{v}) must be internal")
+        if not self.has_edge(u, v):
+            raise TreeError(f"({u},{v}) is not an edge")
+        if variant not in (0, 1):
+            raise TreeError(f"NNI variant must be 0 or 1, got {variant}")
+        us = [x for x in self._neighbors[u] if x != v]
+        vs = [x for x in self._neighbors[v] if x != u]
+        su = us[0]
+        sv = vs[variant]
+        lu = self._disconnect(u, su)
+        lv = self._disconnect(v, sv)
+        self._connect(u, sv, lv)
+        self._connect(v, su, lu)
+        return NniUndo(u, v, su, sv)
+
+    def undo_nni(self, undo: NniUndo) -> None:
+        u, v = undo.u, undo.v
+        lu = self._disconnect(v, undo.swapped_u)
+        lv = self._disconnect(u, undo.swapped_v)
+        self._connect(u, undo.swapped_u, lu)
+        self._connect(v, undo.swapped_v, lv)
+
+    # -- validation & comparison ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check binary-tree invariants; raise :class:`TreeError` on violation."""
+        if self._n < 3:
+            if self.num_edges != 1:
+                raise TreeError("2-tip tree must have exactly 1 edge")
+            return
+        for tip in range(self._n):
+            if self.degree(tip) != 1:
+                raise TreeError(f"tip {tip} has degree {self.degree(tip)}")
+        attached_inner = [w for w in self.inner_nodes() if self._neighbors[w]]
+        for w in attached_inner:
+            if self.degree(w) != 3:
+                raise TreeError(f"inner node {w} has degree {self.degree(w)}")
+        expected_edges = self._n + len(attached_inner) - 1
+        if self.num_edges != expected_edges:
+            raise TreeError(
+                f"{self.num_edges} edges but {expected_edges} expected for a tree"
+            )
+        seen = set(self.subtree_nodes(0, -1))
+        if len(seen) != self._n + len(attached_inner):
+            raise TreeError("tree is disconnected")
+        for (u, v), ln in self._lengths.items():
+            if not np.isfinite(ln) or ln < 0:
+                raise TreeError(f"bad branch length {ln} on ({u},{v})")
+
+    def splits(self) -> frozenset[frozenset[int]]:
+        """Canonical set of non-trivial tip bipartitions (for topology equality).
+
+        Each internal edge induces a split of the tip set; the side not
+        containing tip 0 is used as the canonical representative.
+        """
+        out = set()
+        for u, v in self.edges():
+            if self.is_tip(u) or self.is_tip(v):
+                continue
+            side = frozenset(self.subtree_tips(u, v))
+            if 0 in side:
+                side = frozenset(range(self._n)) - side
+            if 1 < len(side) < self._n - 1:
+                out.add(side)
+        return frozenset(out)
+
+    def robinson_foulds(self, other: "Tree") -> int:
+        """Robinson–Foulds distance (symmetric difference of split sets)."""
+        if self._n != other._n:
+            raise TreeError("trees have different tip counts")
+        a, b = self.splits(), other.splits()
+        return len(a ^ b)
+
+    def total_branch_length(self) -> float:
+        return float(sum(self._lengths.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree({self._n} tips, {self.num_edges} edges)"

@@ -1,0 +1,93 @@
+"""Tree comparison metrics beyond Robinson–Foulds.
+
+* :func:`branch_score_distance` — Kuhner–Felsenstein 1994: RF extended with
+  branch lengths (the L2 norm over split-length differences).
+* :func:`path_distance_matrix` — all-pairs patristic distances (one BFS per
+  tip, O(n²)).
+* :func:`path_difference_distance` — Steel–Penny: L2 norm between the two
+  trees' path-length vectors (topology-only variant uses hop counts).
+
+All metrics match trees by taxon *name*, so differently-numbered trees
+compare correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.phylo.tree import Tree
+
+
+def _split_lengths(tree: Tree, names: list[str]) -> dict[frozenset, float]:
+    """Map each non-trivial split (canonical, reference names) to its
+    branch length."""
+    remap = {i: names.index(name) for i, name in enumerate(tree.names)}
+    out: dict[frozenset, float] = {}
+    n = tree.num_tips
+    for u, v in tree.internal_edges():
+        side = frozenset(remap[t] for t in tree.subtree_tips(u, v))
+        if 0 in side:
+            side = frozenset(range(n)) - side
+        out[side] = tree.branch_length(u, v)
+    return out
+
+
+def branch_score_distance(a: Tree, b: Tree) -> float:
+    """Kuhner–Felsenstein branch-score distance.
+
+    ``sqrt( Σ_splits (len_a − len_b)² )`` where a split absent from one tree
+    contributes its full length. Zero iff topologies and internal branch
+    lengths agree.
+    """
+    if sorted(a.names) != sorted(b.names):
+        raise TreeError("trees must share one taxon set")
+    la = _split_lengths(a, a.names)
+    lb = _split_lengths(b, a.names)
+    total = 0.0
+    for split in la.keys() | lb.keys():
+        total += (la.get(split, 0.0) - lb.get(split, 0.0)) ** 2
+    return float(np.sqrt(total))
+
+
+def path_distance_matrix(tree: Tree, weighted: bool = True) -> np.ndarray:
+    """All-pairs tip distances: patristic (weighted) or hop counts.
+
+    One Dijkstra-free BFS/DFS per tip over the tree (edges are unique
+    paths), O(n²) total.
+    """
+    n = tree.num_tips
+    D = np.zeros((n, n))
+    for src in range(n):
+        dist = {src: 0.0}
+        stack = [(src, -1)]
+        while stack:
+            x, parent = stack.pop()
+            for y in tree.neighbors(x):
+                if y == parent:
+                    continue
+                step = tree.branch_length(x, y) if weighted else 1.0
+                dist[y] = dist[x] + step
+                stack.append((y, x))
+        for dst in range(n):
+            D[src, dst] = dist[dst]
+    return D
+
+
+def path_difference_distance(a: Tree, b: Tree, weighted: bool = False) -> float:
+    """Steel–Penny path-difference: L2 norm of the two path-length vectors."""
+    if sorted(a.names) != sorted(b.names):
+        raise TreeError("trees must share one taxon set")
+    Da = path_distance_matrix(a, weighted)
+    order = [b.names.index(name) for name in a.names]
+    Db = path_distance_matrix(b, weighted)[np.ix_(order, order)]
+    iu = np.triu_indices(a.num_tips, 1)
+    return float(np.linalg.norm(Da[iu] - Db[iu]))
+
+
+def normalized_rf(a: Tree, b: Tree) -> float:
+    """Robinson–Foulds scaled to [0, 1] by the maximum ``2(n-3)``."""
+    n = a.num_tips
+    if n < 4:
+        return 0.0
+    return a.robinson_foulds(b) / (2.0 * (n - 3))

@@ -1,0 +1,15 @@
+"""Data simulation: random trees and sequence evolution.
+
+The paper generates its large test datasets with INDELible ("we deployed
+INDELible to simulate DNA data on a tree with 8192 species and varying
+alignment lengths", §4.3). This package is the from-scratch substitute:
+random tree generators (Yule and coalescent) and a sequence evolver that
+walks any :class:`~repro.phylo.tree.Tree` under any
+:class:`~repro.phylo.models.base.ReversibleModel` with Γ rate
+heterogeneity, producing a ready-to-use :class:`~repro.phylo.msa.Alignment`.
+"""
+
+from repro.simulate.sequences import simulate_alignment
+from repro.simulate.trees import coalescent_tree, yule_tree
+
+__all__ = ["simulate_alignment", "yule_tree", "coalescent_tree"]

@@ -1,0 +1,74 @@
+"""Random phylogeny generators with realistic branch lengths.
+
+Both generators work backwards in time by merging lineages, which yields an
+iterative O(n) construction suitable for the paper's 8192-taxon trees:
+
+* :func:`coalescent_tree` — Kingman coalescent: merge times exponential
+  with rate ``k(k-1)/2`` while ``k`` lineages remain.
+* :func:`yule_tree` — pure-birth: inter-speciation times exponential with
+  rate ``kλ``; merging uniformly random pairs backwards reproduces the
+  Yule topology distribution.
+
+Both produce ultrametric rooted shapes that are returned as the library's
+unrooted :class:`~repro.phylo.tree.Tree` (the root is dissolved, as the
+PLF requires an unrooted tree — paper §3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.phylo.tree import Tree
+from repro.utils.rng import as_rng
+
+
+def _merge_backwards(num_tips: int, rng: np.random.Generator, rate_of_k,
+                     names: list[str] | None, scale: float) -> Tree:
+    """Shared backward-merging construction for both generators.
+
+    ``rate_of_k`` maps the current lineage count ``k`` to the exponential
+    rate of the next merge event. The last three lineages are joined to a
+    single inner node, which directly yields a valid unrooted binary tree.
+    """
+    if num_tips < 3:
+        raise SimulationError(f"need at least 3 tips, got {num_tips}")
+    tree = Tree(num_tips, names)
+    # Each active lineage: (tree node id, height of that node).
+    active: list[tuple[int, float]] = [(i, 0.0) for i in range(num_tips)]
+    next_inner = num_tips
+    t = 0.0
+    while len(active) > 3:
+        k = len(active)
+        t += float(rng.exponential(1.0 / rate_of_k(k))) * scale
+        i, j = sorted(rng.choice(k, size=2, replace=False))
+        (ni, hi), (nj, hj) = active[i], active[j]
+        u = next_inner
+        next_inner += 1
+        tree._connect(ni, u, max(t - hi, 1e-9))
+        tree._connect(nj, u, max(t - hj, 1e-9))
+        active = [active[x] for x in range(k) if x not in (i, j)] + [(u, t)]
+    k = len(active)
+    t += float(rng.exponential(1.0 / rate_of_k(k))) * scale
+    u = next_inner
+    for node, height in active:
+        tree._connect(node, u, max(t - height, 1e-9))
+    tree.validate()
+    return tree
+
+
+def coalescent_tree(num_tips: int, seed=None, names: list[str] | None = None,
+                    scale: float = 0.1) -> Tree:
+    """Kingman-coalescent random tree; ``scale`` converts time to
+    expected substitutions per site."""
+    rng = as_rng(seed)
+    return _merge_backwards(num_tips, rng, lambda k: k * (k - 1) / 2.0, names, scale)
+
+
+def yule_tree(num_tips: int, seed=None, names: list[str] | None = None,
+              birth_rate: float = 1.0, scale: float = 0.1) -> Tree:
+    """Yule (pure-birth) random tree with speciation rate ``birth_rate``."""
+    if birth_rate <= 0:
+        raise SimulationError(f"birth rate must be positive, got {birth_rate}")
+    rng = as_rng(seed)
+    return _merge_backwards(num_tips, rng, lambda k: k * birth_rate, names, scale)

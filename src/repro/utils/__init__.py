@@ -1,0 +1,6 @@
+"""Small shared utilities (RNG handling, timers, formatting)."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, format_bytes, format_seconds
+
+__all__ = ["as_rng", "spawn_rngs", "Stopwatch", "format_bytes", "format_seconds"]

@@ -1,0 +1,38 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic code in :mod:`repro` (replacement policies, simulators,
+random tree generation, tree search tie-breaking) accepts a ``seed``
+argument that is normalized through :func:`as_rng`, so experiments are
+reproducible end-to-end from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Accepts ``None`` (fresh entropy), an ``int``, a ``SeedSequence``, or an
+    existing ``Generator`` (returned unchanged so streams can be shared).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Split one seed into ``n`` independent generators.
+
+    Used when a driver needs decorrelated streams for sub-components (e.g.
+    one stream for the workload and one for a Random replacement policy) so
+    changing one component's consumption pattern does not perturb the other.
+    """
+    if isinstance(seed, np.random.Generator):
+        seed = seed.bit_generator.seed_seq
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seed.spawn(n)]

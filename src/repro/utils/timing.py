@@ -1,0 +1,66 @@
+"""Wall-clock measurement and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("compute"):
+    ...     pass
+    >>> sw.total("compute") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+
+    def lap(self, name: str) -> "_Lap":
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        return dict(self._totals)
+
+
+class _Lap:
+    def __init__(self, sw: Stopwatch, name: str) -> None:
+        self._sw = sw
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._start)
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with binary units: ``format_bytes(1536) == '1.5 KiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Format seconds compactly: ``format_seconds(90) == '1m30.0s'``."""
+    if s < 60:
+        return f"{s:.3g}s"
+    m, rest = divmod(s, 60.0)
+    if m < 60:
+        return f"{int(m)}m{rest:04.1f}s"
+    h, m = divmod(int(m), 60)
+    return f"{h}h{m:02d}m{rest:04.1f}s"

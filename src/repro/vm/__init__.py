@@ -1,0 +1,18 @@
+"""Virtual-memory substrate: the "standard version using paging" baseline.
+
+The paper's Figure 5 compares the out-of-core implementation against
+standard RAxML relying on OS paging (2 GB RAM, 36 GB swap). We cannot
+deconfigure this machine's RAM, so this package simulates the relevant OS
+behaviour exactly as a cache model: a 4 KiB-page LRU page cache in front of
+a disk latency model. The PLF compute runs for real; every byte range it
+touches is charged to the page cache, whose fault count × per-fault cost
+gives the simulated paging time (see DESIGN.md, substitution 3 — the paper
+itself reports fault counts, 346,861 @ 2 GB → 902,489 @ 5 GB, which this
+model reproduces in spirit).
+"""
+
+from repro.vm.disk import DiskModel
+from repro.vm.pagecache import PageCache
+from repro.vm.pagedarena import PagedArena
+
+__all__ = ["DiskModel", "PageCache", "PagedArena"]

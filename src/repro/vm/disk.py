@@ -1,0 +1,69 @@
+"""A simple analytic disk-latency model.
+
+Transfers cost ``access_latency + bytes / bandwidth``. Random (page-fault
+sized) accesses pay the access latency on every operation; large sequential
+transfers amortize it — which is precisely the paper's §3.1 argument for
+using whole ancestral vectors (≫ the 512 B–8 KiB hardware block) as the
+swap unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Latency/bandwidth parameters of a secondary-storage device.
+
+    Attributes
+    ----------
+    access_latency:
+        Seconds per discrete I/O operation (seek + rotational delay for
+        an HDD; controller overhead for an SSD).
+    bandwidth:
+        Sustained sequential transfer rate, bytes/second.
+    name:
+        Label for reports.
+    """
+
+    access_latency: float
+    bandwidth: float
+    name: str = "disk"
+
+    def __post_init__(self) -> None:
+        if self.access_latency < 0 or self.bandwidth <= 0:
+            raise ReproError(
+                f"bad disk model: latency={self.access_latency}, bandwidth={self.bandwidth}"
+            )
+
+    @classmethod
+    def hdd(cls) -> "DiskModel":
+        """A 2010-era 7200 rpm SATA drive (≈8 ms access, 100 MB/s) — the class
+        of device in the paper's Intel i5 test system."""
+        return cls(access_latency=8e-3, bandwidth=100e6, name="hdd")
+
+    @classmethod
+    def ssd(cls) -> "DiskModel":
+        """A SATA SSD (≈0.1 ms access, 500 MB/s) for sensitivity analyses."""
+        return cls(access_latency=1e-4, bandwidth=500e6, name="ssd")
+
+    def transfer_time(self, nbytes: int, sequential: bool = True) -> float:
+        """Seconds to move ``nbytes`` in one operation.
+
+        ``sequential=False`` models scattered page-granularity traffic by
+        charging a full access latency per 4 KiB page, the worst case an
+        OS pager degenerates to under random fault patterns.
+        """
+        if nbytes < 0:
+            raise ReproError(f"negative transfer size {nbytes}")
+        if sequential:
+            return self.access_latency + nbytes / self.bandwidth
+        pages = max(1, (nbytes + 4095) // 4096)
+        return pages * (self.access_latency + 4096 / self.bandwidth)
+
+    def page_fault_time(self, page_bytes: int = 4096) -> float:
+        """Cost of servicing one hard page fault (random single-page read)."""
+        return self.access_latency + page_bytes / self.bandwidth

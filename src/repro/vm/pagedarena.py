@@ -1,0 +1,65 @@
+"""Item-granularity façade over the page-cache simulator.
+
+:class:`PagedArena` models the memory behaviour of *standard* RAxML: all
+``n`` ancestral vectors are one big contiguous allocation (``n · w`` bytes),
+and the PLF touches whole vectors. Under memory pressure the OS pager —
+not the application — decides what stays resident, at page granularity and
+without any knowledge of the tree. The arena translates each vector access
+into the byte-range touch of the underlying :class:`PageCache`, giving the
+fault counts and the simulated paging time that the Figure-5 baseline needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.vm.disk import DiskModel
+from repro.vm.pagecache import PageCache
+
+
+class PagedArena:
+    """A virtual ``(num_items × item_bytes)`` arena behind a simulated pager.
+
+    Parameters
+    ----------
+    num_items:
+        Number of ancestral vectors in the allocation.
+    item_bytes:
+        Width ``w`` of each vector.
+    capacity_bytes:
+        Simulated physical RAM available to the arena.
+    disk:
+        Swap-device model (defaults to the HDD of the paper's test box).
+    page_bytes, readahead_pages:
+        Forwarded to :class:`PageCache`.
+    """
+
+    def __init__(self, num_items: int, item_bytes: int, capacity_bytes: int,
+                 disk: DiskModel | None = None, page_bytes: int = 4096,
+                 readahead_pages: int = 8) -> None:
+        if num_items < 1 or item_bytes < 1:
+            raise ReproError("PagedArena needs positive item count and width")
+        self.num_items = int(num_items)
+        self.item_bytes = int(item_bytes)
+        self.cache = PageCache(capacity_bytes, page_bytes, disk, readahead_pages)
+
+    def access_item(self, item: int, write: bool = False) -> int:
+        """Touch all pages of vector ``item``; return the number of faults."""
+        if not 0 <= item < self.num_items:
+            raise ReproError(f"item {item} out of range [0, {self.num_items})")
+        return self.cache.touch_range(item * self.item_bytes, self.item_bytes, write)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_items * self.item_bytes
+
+    @property
+    def faults(self) -> int:
+        return self.cache.faults
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.cache.simulated_seconds
+
+    def fits_in_ram(self) -> bool:
+        """True when the whole arena is smaller than simulated RAM."""
+        return self.total_bytes <= self.cache.capacity_pages * self.cache.page_bytes

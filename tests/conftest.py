@@ -1,0 +1,46 @@
+"""Shared fixtures: small simulated datasets and engine factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GTR, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    """A fixed 10-taxon random tree with realistic branch lengths."""
+    return yule_tree(10, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_alignment(small_tree):
+    """300 DNA sites simulated on ``small_tree`` under GTR+Γ."""
+    model = GTR((1.0, 2.5, 1.2, 0.8, 3.0, 1.0), (0.3, 0.2, 0.25, 0.25))
+    return simulate_alignment(small_tree, model, 300,
+                              rates=RateModel.gamma(0.8, 4), seed=102)
+
+
+@pytest.fixture(scope="session")
+def small_model():
+    return GTR((1.0, 2.5, 1.2, 0.8, 3.0, 1.0), (0.3, 0.2, 0.25, 0.25))
+
+
+@pytest.fixture()
+def engine_factory(small_tree, small_alignment, small_model):
+    """Build engines over the shared dataset with arbitrary store settings."""
+
+    def build(**kwargs) -> LikelihoodEngine:
+        rates = kwargs.pop("rates", RateModel.gamma(0.8, 4))
+        tree = kwargs.pop("tree", None)
+        if tree is None:
+            tree = small_tree.copy()
+        return LikelihoodEngine(tree, small_alignment, small_model, rates, **kwargs)
+
+    return build
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,129 @@
+"""Unit tests for alphabets, ambiguity codes and compact packing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlphabetError
+from repro.phylo.alphabet import AMINO_ACID, DNA, Alphabet
+
+
+class TestDnaEncoding:
+    def test_plain_states_are_single_bits(self):
+        assert DNA.encode_char("A") == 1
+        assert DNA.encode_char("C") == 2
+        assert DNA.encode_char("G") == 4
+        assert DNA.encode_char("T") == 8
+
+    def test_lowercase_equals_uppercase(self):
+        assert DNA.encode_char("a") == DNA.encode_char("A")
+        assert DNA.encode_char("y") == DNA.encode_char("Y")
+
+    def test_ambiguity_codes_union_bits(self):
+        assert DNA.encode_char("R") == (1 | 4)  # A or G
+        assert DNA.encode_char("Y") == (2 | 8)  # C or T
+        assert DNA.encode_char("N") == 15
+
+    def test_uracil_maps_to_thymine(self):
+        assert DNA.encode_char("U") == DNA.encode_char("T")
+
+    def test_gap_and_question_are_fully_unknown(self):
+        assert DNA.encode_char("-") == 15
+        assert DNA.encode_char("?") == 15
+        assert DNA.gap_code == 15
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(AlphabetError, match="not in alphabet"):
+            DNA.encode_char("!")
+
+    def test_encode_returns_uint8_for_dna(self):
+        codes = DNA.encode("ACGT")
+        assert codes.dtype == np.uint8
+        assert codes.tolist() == [1, 2, 4, 8]
+
+    def test_decode_roundtrip_plain(self):
+        s = "ACGTACGT"
+        assert DNA.decode(DNA.encode(s)) == s
+
+    def test_decode_roundtrip_ambiguous(self):
+        s = "ARYN-"
+        out = DNA.decode(DNA.encode(s))
+        # N and - share code 15; decode picks the gap representative.
+        assert out[:3] == "ARY"
+        assert out[3] == out[4]
+
+    def test_decode_unknown_code_raises(self):
+        with pytest.raises(AlphabetError, match="cannot decode"):
+            DNA.decode(np.array([0], dtype=np.uint8))
+
+
+class TestCodeMatrix:
+    def test_shape(self):
+        m = DNA.code_matrix()
+        assert m.shape == (16, 4)
+
+    def test_single_states_are_one_hot(self):
+        m = DNA.code_matrix()
+        assert m[1].tolist() == [1, 0, 0, 0]
+        assert m[8].tolist() == [0, 0, 0, 1]
+
+    def test_gap_row_is_all_ones(self):
+        m = DNA.code_matrix()
+        assert m[15].tolist() == [1, 1, 1, 1]
+
+    def test_row_sums_equal_popcount(self):
+        m = DNA.code_matrix()
+        for code in range(16):
+            assert m[code].sum() == bin(code).count("1")
+
+
+class TestPacking:
+    def test_dna_packs_eight_per_word(self):
+        # The paper's §3.1 claim: one 32-bit integer stores 8 nucleotides.
+        codes = DNA.encode("ACGTRYKM")
+        words = DNA.pack(codes)
+        assert words.shape == (1,)
+        assert DNA.unpack(words, 8).tolist() == codes.tolist()
+
+    def test_pack_roundtrip_odd_length(self):
+        codes = DNA.encode("ACGTACGTACG")  # 11 symbols -> 2 words
+        words = DNA.pack(codes)
+        assert words.shape == (2,)
+        assert DNA.unpack(words, 11).tolist() == codes.tolist()
+
+    def test_pack_empty(self):
+        assert DNA.pack(np.array([], dtype=np.uint8)).shape == (0,)
+
+    def test_amino_acid_packs_one_per_word(self):
+        codes = AMINO_ACID.encode("ARND")
+        words = AMINO_ACID.pack(codes)
+        assert words.shape == (4,)
+        assert AMINO_ACID.unpack(words, 4).tolist() == codes.tolist()
+
+
+class TestAminoAcid:
+    def test_twenty_states(self):
+        assert AMINO_ACID.num_states == 20
+        assert AMINO_ACID.num_codes == 2**20
+
+    def test_b_is_asn_or_asp(self):
+        n = 1 << AMINO_ACID.states.index("N")
+        d = 1 << AMINO_ACID.states.index("D")
+        assert AMINO_ACID.encode_char("B") == n | d
+
+    def test_x_is_fully_ambiguous(self):
+        assert AMINO_ACID.encode_char("X") == AMINO_ACID.gap_code
+
+
+class TestCustomAlphabet:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(AlphabetError, match="duplicate states"):
+            Alphabet(name="bad", states="AAB")
+
+    def test_ambiguity_referencing_unknown_state_rejected(self):
+        with pytest.raises(AlphabetError, match="unknown state"):
+            Alphabet(name="bad", states="01", ambiguities={"Z": "2"})
+
+    def test_binary_alphabet_works(self):
+        binary = Alphabet(name="binary", states="01", gap_chars="-")
+        assert binary.encode("0101-").tolist() == [1, 2, 1, 2, 3]
+        assert binary.code_matrix().shape == (4, 2)

@@ -1,0 +1,84 @@
+"""Tests for aLRT branch support."""
+
+import pytest
+
+from repro import GTR, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+from repro.errors import LikelihoodError
+from repro.phylo.likelihood.alrt import BranchSupport, alrt_branch_support, support_labels
+
+
+@pytest.fixture(scope="module")
+def alrt_engine():
+    tree = yule_tree(9, seed=801)
+    model = GTR((1, 2, 1, 1, 2, 1), (0.3, 0.2, 0.25, 0.25))
+    aln = simulate_alignment(tree, model, 900, rates=RateModel.gamma(1.0, 4),
+                             seed=802)
+    eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+    eng.optimize_all_branches(passes=2)
+    return eng
+
+
+class TestAlrt:
+    def test_all_internal_edges_covered(self, alrt_engine):
+        supports = alrt_branch_support(alrt_engine)
+        expected = {(min(e), max(e)) for e in alrt_engine.tree.internal_edges()}
+        assert set(supports) == expected
+
+    def test_statistics_nonnegative(self, alrt_engine):
+        for s in alrt_branch_support(alrt_engine).values():
+            assert s.statistic >= 0.0
+            assert 0.0 <= s.p_value <= 1.0
+
+    def test_strong_data_supports_most_edges(self, alrt_engine):
+        supports = alrt_branch_support(alrt_engine)
+        supported = sum(1 for s in supports.values() if s.supported)
+        assert supported >= len(supports) // 2
+
+    def test_tree_unchanged_by_analysis(self, alrt_engine):
+        ref = alrt_engine.tree.copy()
+        alrt_branch_support(alrt_engine)
+        assert alrt_engine.tree.robinson_foulds(ref) == 0
+
+    def test_noise_data_gives_weak_support(self):
+        import numpy as np
+        from repro import Alignment, DNA
+        rng = np.random.default_rng(803)
+        codes = np.left_shift(1, rng.integers(0, 4, size=(9, 120))).astype(np.uint8)
+        aln = Alignment([f"t{i}" for i in range(9)], codes, DNA)
+        tree = yule_tree(9, seed=804)
+        eng = LikelihoodEngine(tree, aln, GTR(), RateModel.gamma(1.0, 4))
+        eng.optimize_all_branches()
+        weak = alrt_branch_support(eng)
+        strong_engine_supports = 6  # from the informative fixture: most edges
+        weak_supported = sum(1 for s in weak.values() if s.supported)
+        assert weak_supported < strong_engine_supports
+
+    def test_tip_edge_rejected(self, alrt_engine):
+        with pytest.raises(LikelihoodError, match="internal"):
+            alrt_branch_support(alrt_engine, edges=[(0, alrt_engine.tree.neighbors(0)[0])])
+
+    def test_out_of_core_identical(self):
+        tree = yule_tree(7, seed=805)
+        model = GTR()
+        aln = simulate_alignment(tree, model, 300, seed=806)
+        rates = RateModel.gamma(1.0, 4)
+        e1 = LikelihoodEngine(tree.copy(), aln, model, rates)
+        e2 = LikelihoodEngine(tree.copy(), aln, model, rates,
+                              fraction=0.3, policy="lru",
+                              poison_skipped_reads=True)
+        s1 = alrt_branch_support(e1)
+        s2 = alrt_branch_support(e2)
+        assert {k: v.statistic for k, v in s1.items()} == \
+               {k: v.statistic for k, v in s2.items()}
+
+    def test_labels(self, alrt_engine):
+        supports = alrt_branch_support(alrt_engine)
+        labels = support_labels(supports)
+        assert set(labels) == set(supports)
+        assert all(isinstance(v, str) for v in labels.values())
+
+    def test_mixture_p_value(self):
+        s = BranchSupport(edge=(1, 2), lnl_best=-100.0, lnl_second=-100.0)
+        assert s.p_value == 1.0
+        strong = BranchSupport(edge=(1, 2), lnl_best=-100.0, lnl_second=-110.0)
+        assert strong.p_value < 1e-4

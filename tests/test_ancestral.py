@@ -1,0 +1,104 @@
+"""Tests for marginal ancestral state reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GTR,
+    JC69,
+    LikelihoodEngine,
+    RateModel,
+    marginal_ancestral_distribution,
+    marginal_ancestral_states,
+    simulate_alignment,
+    yule_tree,
+)
+from repro.errors import LikelihoodError
+from repro.phylo.likelihood.ancestral import reconstruct_all
+
+
+@pytest.fixture(scope="module")
+def anc_dataset():
+    tree = yule_tree(10, seed=301, scale=0.05)  # short branches: conserved
+    model = GTR((1, 2, 1, 1, 2, 1), (0.3, 0.2, 0.25, 0.25))
+    rates = RateModel.gamma(1.0, 4)
+    aln = simulate_alignment(tree, model, 250, rates=rates, seed=302)
+    return tree, aln, model, rates
+
+
+def make_engine(anc_dataset, **kwargs):
+    tree, aln, model, rates = anc_dataset
+    return LikelihoodEngine(tree.copy(), aln, model, rates, **kwargs)
+
+
+class TestDistribution:
+    def test_shape_and_normalization(self, anc_dataset):
+        eng = make_engine(anc_dataset)
+        node = next(iter(eng.tree.inner_nodes()))
+        post = marginal_ancestral_distribution(eng, node)
+        assert post.shape == (eng.alignment.num_sites, 4)
+        np.testing.assert_allclose(post.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(post >= 0)
+
+    def test_tip_rejected(self, anc_dataset):
+        eng = make_engine(anc_dataset)
+        with pytest.raises(LikelihoodError, match="tip"):
+            marginal_ancestral_distribution(eng, 0)
+
+    def test_conserved_sites_are_confident(self, anc_dataset):
+        """On short branches, sites constant across taxa should give a
+        near-certain ancestral state."""
+        eng = make_engine(anc_dataset)
+        codes = eng.alignment.codes
+        constant = np.all(codes == codes[0:1, :], axis=0)
+        assert constant.any()
+        node = next(iter(eng.tree.inner_nodes()))
+        post = marginal_ancestral_distribution(eng, node)
+        assert post[constant].max(axis=1).min() > 0.95
+
+    def test_independent_of_evaluation_history(self, anc_dataset):
+        eng1 = make_engine(anc_dataset)
+        node = list(eng1.tree.inner_nodes())[3]
+        fresh = marginal_ancestral_distribution(eng1, node)
+        eng2 = make_engine(anc_dataset)
+        for u, v in list(eng2.tree.edges())[:5]:
+            eng2.edge_loglikelihood(u, v)  # churn the CLV orientations
+        warm = marginal_ancestral_distribution(eng2, node)
+        np.testing.assert_array_equal(fresh, warm)
+
+    def test_out_of_core_identical(self, anc_dataset):
+        eng_std = make_engine(anc_dataset)
+        eng_ooc = make_engine(anc_dataset, fraction=0.25, policy="lru",
+                              poison_skipped_reads=True)
+        node = list(eng_std.tree.inner_nodes())[2]
+        a = marginal_ancestral_distribution(eng_std, node)
+        b = marginal_ancestral_distribution(eng_ooc, node)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestStates:
+    def test_states_are_valid_sequences(self, anc_dataset):
+        eng = make_engine(anc_dataset)
+        node = next(iter(eng.tree.inner_nodes()))
+        seq = marginal_ancestral_states(eng, node)
+        assert len(seq) == eng.alignment.num_sites
+        assert set(seq) <= set("ACGT")
+
+    def test_recovers_simulation_root_states_mostly(self):
+        """With very short branches the ancestral sequence is essentially
+        the shared sequence, which reconstruction must recover."""
+        tree = yule_tree(8, seed=310, scale=1e-4)
+        aln = simulate_alignment(tree, JC69(), 300, rates=RateModel.uniform(),
+                                 seed=311)
+        eng = LikelihoodEngine(tree.copy(), aln, JC69(), RateModel.uniform())
+        node = next(iter(eng.tree.inner_nodes()))
+        anc = marginal_ancestral_states(eng, node)
+        tip0 = aln.sequence(eng.tree.names[0])
+        agreement = sum(a == b for a, b in zip(anc, tip0)) / len(anc)
+        assert agreement > 0.99
+
+    def test_reconstruct_all_covers_inner_nodes(self, anc_dataset):
+        eng = make_engine(anc_dataset)
+        seqs = reconstruct_all(eng)
+        assert set(seqs) == set(eng.tree.inner_nodes())
+        assert all(len(s) == eng.alignment.num_sites for s in seqs.values())

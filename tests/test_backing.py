@@ -1,0 +1,142 @@
+"""Unit tests for backing stores: memory, single-file, multi-file, simulated."""
+
+import numpy as np
+import pytest
+
+from repro.core.backing import (
+    FileBackingStore,
+    MemoryBackingStore,
+    MultiFileBackingStore,
+    SimulatedDiskBackingStore,
+)
+from repro.errors import BackingStoreError
+from repro.vm.disk import DiskModel
+
+SHAPE = (4, 2, 4)
+
+
+def roundtrip(store, n):
+    rng = np.random.default_rng(9)
+    originals = {}
+    for item in range(n):
+        data = rng.normal(size=SHAPE)
+        store.write(item, data)
+        originals[item] = data
+    for item in range(n):
+        out = np.empty(SHAPE)
+        store.read(item, out)
+        np.testing.assert_array_equal(out, originals[item])  # bit-exact
+
+
+class TestMemoryBacking:
+    def test_roundtrip(self):
+        roundtrip(MemoryBackingStore(6, SHAPE), 6)
+
+    def test_unwritten_items_read_zero(self):
+        s = MemoryBackingStore(3, SHAPE)
+        out = np.ones(SHAPE)
+        s.read(1, out)
+        np.testing.assert_array_equal(out, 0.0)
+        assert not s.has(1)
+
+    def test_range_checked(self):
+        s = MemoryBackingStore(3, SHAPE)
+        with pytest.raises(BackingStoreError, match="out of range"):
+            s.read(3, np.empty(SHAPE))
+
+    def test_closed_store_rejects(self):
+        s = MemoryBackingStore(3, SHAPE)
+        s.close()
+        with pytest.raises(BackingStoreError, match="closed"):
+            s.write(0, np.zeros(SHAPE))
+
+
+class TestFileBacking:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        s = FileBackingStore(tmp_path / "v.bin", 6, SHAPE)
+        roundtrip(s, 6)
+        s.close()
+
+    def test_file_is_preallocated(self, tmp_path):
+        path = tmp_path / "v.bin"
+        s = FileBackingStore(path, 10, SHAPE)
+        assert path.stat().st_size == 10 * 4 * 2 * 4 * 8
+        s.close()
+
+    def test_items_at_fixed_offsets(self, tmp_path):
+        """Paper layout: vector i lives at byte offset i*w in one file."""
+        path = tmp_path / "v.bin"
+        s = FileBackingStore(path, 4, SHAPE)
+        marker = np.full(SHAPE, 42.0)
+        s.write(2, marker)
+        s.flush()
+        raw = np.fromfile(path, dtype=np.float64)
+        w_doubles = int(np.prod(SHAPE))
+        np.testing.assert_array_equal(raw[2 * w_doubles: 3 * w_doubles], 42.0)
+        np.testing.assert_array_equal(raw[:2 * w_doubles], 0.0)
+        s.close()
+
+    def test_buffer_width_checked(self, tmp_path):
+        s = FileBackingStore(tmp_path / "v.bin", 4, SHAPE)
+        with pytest.raises(BackingStoreError, match="mismatch"):
+            s.read(0, np.empty((2, 2)))
+        with pytest.raises(BackingStoreError, match="mismatch"):
+            s.write(0, np.zeros((1,)))
+        s.close()
+
+    def test_closed_rejects(self, tmp_path):
+        s = FileBackingStore(tmp_path / "v.bin", 4, SHAPE)
+        s.close()
+        with pytest.raises(BackingStoreError, match="closed"):
+            s.read(0, np.empty(SHAPE))
+
+    def test_float32_items(self, tmp_path):
+        s = FileBackingStore(tmp_path / "v32.bin", 3, SHAPE, dtype=np.float32)
+        data = np.arange(np.prod(SHAPE), dtype=np.float32).reshape(SHAPE)
+        s.write(1, data)
+        out = np.empty(SHAPE, dtype=np.float32)
+        s.read(1, out)
+        np.testing.assert_array_equal(out, data)
+        s.close()
+
+
+class TestMultiFileBacking:
+    def test_roundtrip(self, tmp_path):
+        s = MultiFileBackingStore(tmp_path, 10, SHAPE, num_files=3)
+        roundtrip(s, 10)
+        s.close()
+
+    def test_creates_requested_files(self, tmp_path):
+        s = MultiFileBackingStore(tmp_path / "d", 10, SHAPE, num_files=4)
+        files = sorted((tmp_path / "d").glob("vectors_*.bin"))
+        assert len(files) == 4
+        s.close()
+
+    def test_single_file_degenerate_case(self, tmp_path):
+        s = MultiFileBackingStore(tmp_path, 5, SHAPE, num_files=1)
+        roundtrip(s, 5)
+        s.close()
+
+    def test_bad_file_count_rejected(self, tmp_path):
+        with pytest.raises(BackingStoreError, match="at least 1"):
+            MultiFileBackingStore(tmp_path, 5, SHAPE, num_files=0)
+
+    def test_range_checked(self, tmp_path):
+        s = MultiFileBackingStore(tmp_path, 5, SHAPE, num_files=2)
+        with pytest.raises(BackingStoreError, match="out of range"):
+            s.write(5, np.zeros(SHAPE))
+        s.close()
+
+
+class TestSimulatedDisk:
+    def test_roundtrip_and_timing(self):
+        disk = DiskModel(access_latency=1e-3, bandwidth=1e8)
+        s = SimulatedDiskBackingStore(4, SHAPE, disk=disk)
+        roundtrip(s, 4)
+        # 4 writes + 4 reads, each latency + bytes/bw.
+        per_op = 1e-3 + s.item_bytes / 1e8
+        assert s.simulated_seconds == pytest.approx(8 * per_op)
+
+    def test_defaults_to_hdd(self):
+        s = SimulatedDiskBackingStore(2, SHAPE)
+        assert s.disk.name == "hdd"

@@ -1,0 +1,193 @@
+"""Tests for the Bayesian MCMC engine (moves, chain, out-of-core parity)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import GTR, JC69, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+from repro.errors import SearchError
+from repro.phylo.bayes import (
+    AlphaScaleMove,
+    BranchScaleMove,
+    McmcChain,
+    NniMove,
+    Priors,
+    SprMove,
+)
+
+
+@pytest.fixture(scope="module")
+def bayes_dataset():
+    tree = yule_tree(8, seed=201)
+    model = GTR((1, 2, 1, 1, 2, 1), (0.3, 0.2, 0.25, 0.25))
+    rates = RateModel.gamma(0.8, 4)
+    aln = simulate_alignment(tree, model, 400, rates=rates, seed=202)
+    return tree, aln, model, rates
+
+
+def make_engine(bayes_dataset, **kwargs):
+    tree, aln, model, rates = bayes_dataset
+    return LikelihoodEngine(tree.copy(), aln, model, rates, **kwargs)
+
+
+class TestMoves:
+    def test_branch_scale_reject_restores(self, bayes_dataset, rng):
+        eng = make_engine(bayes_dataset)
+        before = {e: eng.tree.branch_length(*e) for e in eng.tree.edges()}
+        lnl0 = eng.loglikelihood()
+        move = BranchScaleMove()
+        for _ in range(20):
+            move.propose(eng, rng)
+            move.reject(eng)
+        after = {e: eng.tree.branch_length(*e) for e in eng.tree.edges()}
+        assert before == after
+        assert eng.loglikelihood() == lnl0
+
+    def test_branch_scale_hastings_ratio(self, bayes_dataset, rng):
+        eng = make_engine(bayes_dataset)
+        move = BranchScaleMove(tuning=0.5)
+        lh = move.propose(eng, rng)
+        new = eng.tree.branch_length(*move._edge)
+        assert lh == pytest.approx(math.log(new / move._old))
+
+    def test_nni_reject_restores_topology(self, bayes_dataset, rng):
+        eng = make_engine(bayes_dataset)
+        ref = eng.tree.copy()
+        lnl0 = eng.loglikelihood()
+        move = NniMove()
+        for _ in range(10):
+            assert move.propose(eng, rng) == 0.0  # symmetric
+            move.reject(eng)
+        assert eng.tree.robinson_foulds(ref) == 0
+        assert eng.loglikelihood() == lnl0
+
+    def test_spr_reject_restores(self, bayes_dataset, rng):
+        eng = make_engine(bayes_dataset)
+        ref = eng.tree.copy()
+        lnl0 = eng.loglikelihood()
+        move = SprMove(radius=3)
+        for _ in range(10):
+            lh = move.propose(eng, rng)
+            assert np.isfinite(lh)
+            move.reject(eng)
+        assert eng.tree.robinson_foulds(ref) == 0
+        assert eng.loglikelihood() == lnl0
+
+    def test_alpha_scale_roundtrip(self, bayes_dataset, rng):
+        eng = make_engine(bayes_dataset)
+        move = AlphaScaleMove()
+        old = eng.rates.alpha
+        move.propose(eng, rng)
+        assert eng.rates.alpha != old
+        move.reject(eng)
+        assert eng.rates.alpha == old
+
+    def test_alpha_move_noop_for_uniform_rates(self, bayes_dataset, rng):
+        tree, aln, model, _ = bayes_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.uniform())
+        move = AlphaScaleMove()
+        assert move.propose(eng, rng) == 0.0
+        move.reject(eng)  # no crash
+
+    def test_bad_tunings_rejected(self):
+        with pytest.raises(SearchError):
+            BranchScaleMove(tuning=0.0)
+        with pytest.raises(SearchError):
+            AlphaScaleMove(tuning=-1.0)
+        with pytest.raises(SearchError):
+            SprMove(radius=0)
+
+
+class TestPriors:
+    def test_exponential_branch_prior(self, bayes_dataset):
+        eng = make_engine(bayes_dataset)
+        priors = Priors(branch_length_mean=0.1, alpha_mean=1.0)
+        lp = priors.log_prior(eng)
+        rate = 10.0
+        expected = sum(math.log(rate) - rate * eng.tree.branch_length(u, v)
+                       for u, v in eng.tree.edges())
+        expected += math.log(1.0) - 1.0 * eng.rates.alpha
+        assert lp == pytest.approx(expected)
+
+    def test_prior_prefers_shorter_trees(self, bayes_dataset):
+        eng = make_engine(bayes_dataset)
+        priors = Priors(branch_length_mean=0.05)
+        lp_before = priors.log_prior(eng)
+        for u, v in eng.tree.edges():
+            eng.tree.set_branch_length(u, v, 2.0)
+        assert priors.log_prior(eng) < lp_before
+
+
+class TestChain:
+    def test_chain_runs_and_samples(self, bayes_dataset):
+        eng = make_engine(bayes_dataset)
+        chain = McmcChain(eng, seed=5)
+        result = chain.run(300, burn_in=50, sample_every=10)
+        assert len(result.samples) == 25
+        assert all(np.isfinite(s.log_posterior) for s in result.samples)
+        assert result.samples[-1].generation == 300
+
+    def test_deterministic_for_seed(self, bayes_dataset):
+        r1 = McmcChain(make_engine(bayes_dataset), seed=9).run(150)
+        r2 = McmcChain(make_engine(bayes_dataset), seed=9).run(150)
+        assert r1.final_log_likelihood == r2.final_log_likelihood
+        assert [s.log_likelihood for s in r1.samples] == \
+               [s.log_likelihood for s in r2.samples]
+
+    def test_moves_get_proposed_and_accepted(self, bayes_dataset):
+        chain = McmcChain(make_engine(bayes_dataset), seed=6)
+        result = chain.run(400)
+        assert sum(s.proposed for s in result.move_stats.values()) == 400
+        assert result.move_stats["branch-scale"].accepted > 0
+
+    def test_chain_climbs_from_bad_branch_lengths(self, bayes_dataset):
+        eng = make_engine(bayes_dataset)
+        for u, v in eng.tree.edges():
+            eng.tree.set_branch_length(u, v, 1.5)  # far too long
+        eng.invalidate_all()
+        start = eng.loglikelihood()
+        chain = McmcChain(eng, seed=7)
+        result = chain.run(800, burn_in=0, sample_every=50)
+        assert result.final_log_likelihood > start + 50
+
+    def test_posterior_concentrates_on_true_splits(self, bayes_dataset):
+        tree, aln, model, rates = bayes_dataset
+        eng = make_engine(bayes_dataset)
+        chain = McmcChain(eng, seed=8)
+        result = chain.run(1200, burn_in=300, sample_every=10)
+        freqs = result.split_frequencies()
+        true_splits = tree.splits()
+        supported = [freqs.get(s, 0.0) for s in true_splits]
+        # strongly informative data: most true splits get decent support
+        assert np.mean(supported) > 0.5
+
+    def test_out_of_core_chain_identical(self, bayes_dataset):
+        """The §5 claim: Bayesian inference through the OOC store is exact."""
+        r_std = McmcChain(make_engine(bayes_dataset), seed=11).run(200)
+        ooc_engine = make_engine(bayes_dataset, fraction=0.25, policy="lru",
+                                 poison_skipped_reads=True)
+        r_ooc = McmcChain(ooc_engine, seed=11).run(200)
+        assert r_std.final_log_likelihood == r_ooc.final_log_likelihood
+        assert [s.log_posterior for s in r_std.samples] == \
+               [s.log_posterior for s in r_ooc.samples]
+        assert ooc_engine.stats.miss_rate > 0
+
+    def test_validation(self, bayes_dataset):
+        eng = make_engine(bayes_dataset)
+        with pytest.raises(SearchError, match="at least one"):
+            McmcChain(eng, moves=[])
+        with pytest.raises(SearchError, match="positive"):
+            McmcChain(eng, moves=[(NniMove(), 0.0)])
+        chain = McmcChain(eng, seed=1)
+        with pytest.raises(SearchError, match="generations"):
+            chain.run(0)
+        with pytest.raises(SearchError, match="sample_every"):
+            chain.run(10, sample_every=0)
+
+    def test_posterior_mean_alpha(self, bayes_dataset):
+        chain = McmcChain(make_engine(bayes_dataset), seed=12)
+        result = chain.run(300, burn_in=100, sample_every=20)
+        mean_alpha = result.posterior_mean_alpha()
+        assert mean_alpha is not None
+        assert 0.02 < mean_alpha < 100

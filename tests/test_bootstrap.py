@@ -1,0 +1,121 @@
+"""Tests for nonparametric bootstrap support values."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, Alignment, simulate_alignment, yule_tree
+from repro.errors import AlignmentError
+from repro.nj.neighbor_joining import nj_tree
+from repro.phylo.bootstrap import (
+    BootstrapResult,
+    bootstrap_alignment,
+    bootstrap_support,
+    bootstrap_weights,
+)
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def boot_dataset():
+    tree = yule_tree(8, seed=501)
+    aln = simulate_alignment(tree, GTR(), 800, seed=502)
+    return tree, aln
+
+
+class TestResampling:
+    def test_replicate_shape(self, boot_dataset):
+        _, aln = boot_dataset
+        rep = bootstrap_alignment(aln, as_rng(1))
+        assert rep.num_taxa == aln.num_taxa
+        assert rep.num_sites == aln.num_sites
+        assert rep.names == aln.names
+
+    def test_replicate_columns_come_from_original(self, boot_dataset):
+        _, aln = boot_dataset
+        rep = bootstrap_alignment(aln, as_rng(2))
+        original_cols = {tuple(col) for col in aln.codes.T}
+        assert all(tuple(col) in original_cols for col in rep.codes.T)
+
+    def test_replicates_differ(self, boot_dataset):
+        _, aln = boot_dataset
+        a = bootstrap_alignment(aln, as_rng(3))
+        b = bootstrap_alignment(aln, as_rng(4))
+        assert not np.array_equal(a.codes, b.codes)
+
+    def test_weight_resampling_preserves_total(self, boot_dataset):
+        _, aln = boot_dataset
+        w = bootstrap_weights(aln, as_rng(5))
+        assert w.shape == (aln.num_patterns,)
+        assert w.sum() == aln.num_sites
+
+    def test_weight_resampling_mean_is_original(self, boot_dataset):
+        _, aln = boot_dataset
+        rng = as_rng(6)
+        total = np.zeros(aln.num_patterns)
+        reps = 300
+        for _ in range(reps):
+            total += bootstrap_weights(aln, rng)
+        np.testing.assert_allclose(total / reps, aln.compress().weights,
+                                   rtol=0.25, atol=1.0)
+
+
+class TestSupport:
+    def test_strong_data_gives_high_support(self, boot_dataset):
+        tree, aln = boot_dataset
+        reference = nj_tree(aln)
+        result = bootstrap_support(
+            aln, reference, lambda a, s: nj_tree(a), replicates=30, seed=7
+        )
+        assert isinstance(result, BootstrapResult)
+        assert result.num_replicates == 30
+        assert result.mean_support() > 0.6
+        assert all(0.0 <= v <= 1.0 for v in result.support.values())
+
+    def test_support_for_edge(self, boot_dataset):
+        tree, aln = boot_dataset
+        reference = nj_tree(aln)
+        result = bootstrap_support(
+            aln, reference, lambda a, s: nj_tree(a), replicates=10, seed=8
+        )
+        for u, v in reference.internal_edges():
+            val = result.support_for_edge(u, v)
+            assert 0.0 <= val <= 1.0
+
+    def test_random_noise_gives_low_support(self):
+        """On pure noise, splits should rarely replicate."""
+        rng = as_rng(9)
+        n, s = 8, 60
+        codes = np.left_shift(1, rng.integers(0, 4, size=(n, s))).astype(np.uint8)
+        aln = Alignment([f"t{i}" for i in range(n)], codes, None or
+                        __import__("repro").DNA)
+        reference = nj_tree(aln)
+        result = bootstrap_support(
+            aln, reference, lambda a, seed: nj_tree(a), replicates=30, seed=10
+        )
+        signal = bootstrap_support(
+            *_signal_case(), replicates=30, seed=10
+        )
+        assert result.mean_support() < signal.mean_support()
+
+    def test_replicate_count_validated(self, boot_dataset):
+        tree, aln = boot_dataset
+        with pytest.raises(AlignmentError, match="replicate"):
+            bootstrap_support(aln, nj_tree(aln), lambda a, s: nj_tree(a),
+                              replicates=0)
+
+    def test_mismatched_taxa_detected(self, boot_dataset):
+        tree, aln = boot_dataset
+
+        def bad_infer(a, s):
+            t = yule_tree(a.num_taxa, seed=s)
+            t.names = [f"zz{i}" for i in range(a.num_taxa)]
+            return t
+
+        with pytest.raises(AlignmentError, match="different taxa"):
+            bootstrap_support(aln, nj_tree(aln), bad_infer, replicates=2, seed=3)
+
+
+def _signal_case():
+    tree = yule_tree(8, seed=511)
+    aln = simulate_alignment(tree, GTR(), 800, seed=512)
+    return aln, nj_tree(aln), lambda a, s: nj_tree(a)

@@ -1,0 +1,149 @@
+"""Tests for Newton–Raphson branch-length optimization."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, JC69, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+from repro.errors import LikelihoodError
+from repro.phylo.alphabet import DNA
+from repro.phylo.likelihood import kernels
+from repro.phylo.likelihood.branch_opt import (
+    MAX_BRANCH_LENGTH,
+    MIN_BRANCH_LENGTH,
+    optimize_branch,
+    optimize_branch_from_sumtable,
+    smooth_all_branches,
+)
+
+
+class TestNumericalCore:
+    def _setup(self, rng, model=None):
+        model = model or JC69()
+        rates = np.array([0.4, 1.6])
+        weights = np.array([0.5, 0.5])
+        u = rng.uniform(0.1, 1.0, size=(9, 2, 4))
+        v = rng.uniform(0.1, 1.0, size=(9, 2, 4))
+        pw = rng.uniform(1, 4, size=9)
+        table = kernels.branch_sumtable(
+            model.eigenvectors, model.inv_eigenvectors, model.frequencies,
+            u, v, None, None, DNA.code_matrix(),
+        )
+        return model, rates, weights, pw, table
+
+    def test_gradient_vanishes_at_optimum(self, rng):
+        model, rates, weights, pw, table = self._setup(rng)
+        t_opt, _ = optimize_branch_from_sumtable(
+            table, model.eigenvalues, rates, weights, pw, t0=0.3
+        )
+        _, d1, _ = kernels.branch_lnl_and_derivatives(
+            table, model.eigenvalues, rates, weights, pw, t_opt
+        )
+        assert abs(d1) < 1e-6 or t_opt in (MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH)
+
+    def test_optimum_value_independent_of_start(self, rng):
+        """Different starting points must reach the same branch likelihood
+        (the surface can be extremely flat in t, so we compare φ, not t)."""
+        from repro.phylo.likelihood.branch_opt import _branch_phi
+
+        model, rates, weights, pw, table = self._setup(rng)
+        phis = []
+        for t0 in (0.01, 0.1, 1.0, 5.0):
+            t_opt, _ = optimize_branch_from_sumtable(
+                table, model.eigenvalues, rates, weights, pw, t0=t0
+            )
+            phis.append(_branch_phi(table, model.eigenvalues, rates, weights,
+                                    pw, t_opt))
+        assert max(phis) - min(phis) < 1e-6
+
+    def test_result_within_clamps(self, rng):
+        model, rates, weights, pw, table = self._setup(rng)
+        t_opt, _ = optimize_branch_from_sumtable(
+            table, model.eigenvalues, rates, weights, pw, t0=49.0
+        )
+        assert MIN_BRANCH_LENGTH <= t_opt <= MAX_BRANCH_LENGTH
+
+
+class TestEngineLevel:
+    def test_single_branch_improves_lnl(self, engine_factory):
+        eng = engine_factory()
+        u, v = next(iter(eng.tree.edges()))
+        eng.set_branch_length(u, v, 2.5)  # clearly suboptimal
+        before = eng.edge_loglikelihood(u, v)
+        optimize_branch(eng, u, v)
+        after = eng.edge_loglikelihood(u, v)
+        assert after > before
+
+    def test_matches_scipy_scalar_optimum(self, engine_factory):
+        """NR's optimum agrees with a black-box 1-D optimizer on lnL(t)."""
+        from scipy.optimize import minimize_scalar
+
+        eng = engine_factory()
+        u, v = eng.tree.internal_edges()[0]
+
+        def neg_lnl(t):
+            eng.set_branch_length(u, v, float(t))
+            return -eng.edge_loglikelihood(u, v)
+
+        res = minimize_scalar(neg_lnl, bounds=(1e-8, 5.0), method="bounded",
+                              options={"xatol": 1e-10})
+        t_opt = optimize_branch(eng, u, v)
+        assert t_opt == pytest.approx(res.x, abs=1e-4)
+
+    def test_nonexistent_edge_rejected(self, engine_factory):
+        eng = engine_factory()
+        with pytest.raises(LikelihoodError, match="not an edge"):
+            optimize_branch(eng, 0, 1)
+
+    def test_true_branch_length_recovered(self):
+        """Long simulation on a fixed 4-taxon tree recovers the central branch."""
+        tree = yule_tree(4, seed=40)
+        central = tree.internal_edges()[0]
+        tree.set_branch_length(*central, 0.2)
+        aln = simulate_alignment(tree, JC69(), 20000, rates=RateModel.uniform(),
+                                 seed=41)
+        eng = LikelihoodEngine(tree.copy(), aln, JC69(), RateModel.uniform())
+        t_hat = optimize_branch(eng, *central)
+        assert t_hat == pytest.approx(0.2, abs=0.03)
+
+    def test_only_two_vectors_touched(self, engine_factory):
+        """§4.2's locality claim: a branch iteration touches only the two
+        CLVs at its ends (after they are up to date)."""
+        eng = engine_factory(fraction=1.0)
+        eng.loglikelihood()
+        u, v = eng.tree.internal_edges()[0]
+        eng.edge_loglikelihood(u, v)  # make both ends current
+        base = eng.stats.requests
+        optimize_branch(eng, u, v)
+        assert eng.stats.requests - base <= 2
+
+
+class TestSmoothing:
+    def test_never_decreases_lnl(self, engine_factory):
+        eng = engine_factory()
+        l0 = eng.loglikelihood()
+        l1 = smooth_all_branches(eng, passes=1)
+        l2 = smooth_all_branches(eng, passes=1)
+        assert l1 >= l0 - 1e-9
+        assert l2 >= l1 - 1e-9
+
+    def test_converges_across_passes(self, engine_factory):
+        eng = engine_factory()
+        smooth_all_branches(eng, passes=3)
+        before = eng.loglikelihood()
+        after = smooth_all_branches(eng, passes=1)
+        assert after - before < 1e-3
+
+    def test_pass_count_validated(self, engine_factory):
+        with pytest.raises(LikelihoodError, match="passes"):
+            smooth_all_branches(engine_factory(), passes=0)
+
+    def test_all_branches_visited(self, engine_factory):
+        eng = engine_factory()
+        for u, v in eng.tree.edges():
+            eng.tree.set_branch_length(u, v, 1.7)
+        eng.invalidate_all()
+        smooth_all_branches(eng, passes=2)
+        # every branch should have moved off the bogus value
+        moved = [abs(eng.tree.branch_length(u, v) - 1.7) > 1e-6
+                 for u, v in eng.tree.edges()]
+        assert all(moved)

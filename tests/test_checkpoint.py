@@ -1,0 +1,124 @@
+"""Tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, LikelihoodEngine, Poisson, RateModel, simulate_alignment, yule_tree
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.errors import ReproError
+from repro.phylo.likelihood.branch_opt import smooth_all_branches
+
+
+@pytest.fixture(scope="module")
+def ckpt_dataset():
+    tree = yule_tree(9, seed=601)
+    model = GTR((1, 2.4, 0.7, 1.2, 3.0, 1), (0.3, 0.2, 0.25, 0.25))
+    rates = RateModel.gamma_invariant(0.7, 0.1, 4)
+    aln = simulate_alignment(tree, model, 250, rates=RateModel.gamma(0.7, 4),
+                             seed=602)
+    return tree, aln, model, rates
+
+
+class TestRoundtrip:
+    def test_bit_identical_likelihood(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        smooth_all_branches(eng)  # non-trivial branch lengths
+        lnl = eng.loglikelihood()
+        save_checkpoint(eng, tmp_path / "run.ckpt")
+        restored, extra = load_checkpoint(tmp_path / "run.ckpt", aln)
+        assert restored.loglikelihood() == lnl
+        assert extra == {}
+
+    def test_topology_and_lengths_preserved(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        save_checkpoint(eng, tmp_path / "t.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "t.ckpt", aln)
+        # names may renumber tips; compare via splits and total length
+        assert restored.tree.total_branch_length() == pytest.approx(
+            eng.tree.total_branch_length(), rel=1e-12
+        )
+
+    def test_rate_model_preserved(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        save_checkpoint(eng, tmp_path / "r.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "r.ckpt", aln)
+        assert restored.rates.alpha == rates.alpha
+        assert restored.rates.p_invariant == rates.p_invariant
+        np.testing.assert_array_equal(restored.rates.rates, rates.rates)
+
+    def test_extra_payload_roundtrip(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        save_checkpoint(eng, tmp_path / "e.ckpt",
+                        extra={"round": 7, "best_lnl": -123.4})
+        _, extra = load_checkpoint(tmp_path / "e.ckpt", aln)
+        assert extra == {"round": 7, "best_lnl": -123.4}
+
+    def test_store_geometry_restored(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates,
+                               num_slots=4, policy="random")
+        save_checkpoint(eng, tmp_path / "s.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "s.ckpt", aln)
+        assert restored.store.num_slots == 4
+        assert restored.store.policy.name == "random"
+
+    def test_resume_with_different_store(self, ckpt_dataset, tmp_path):
+        """In-core run resumed out-of-core yields the same likelihood."""
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        lnl = eng.loglikelihood()
+        save_checkpoint(eng, tmp_path / "x.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "x.ckpt", aln,
+                                      fraction=0.3, policy="lru")
+        assert restored.loglikelihood() == lnl
+        assert restored.store.fraction < 1.0
+
+    def test_float32_dtype_preserved(self, ckpt_dataset, tmp_path):
+        tree, aln, model, _ = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model,
+                               RateModel.gamma(1.0, 4), dtype=np.float32)
+        save_checkpoint(eng, tmp_path / "f.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "f.ckpt", aln)
+        assert restored.dtype == np.float32
+
+    def test_protein_model_roundtrip(self, tmp_path):
+        tree = yule_tree(5, seed=611)
+        model = Poisson()
+        aln = simulate_alignment(tree, model, 60, seed=612)
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 2))
+        lnl = eng.loglikelihood()
+        save_checkpoint(eng, tmp_path / "p.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "p.ckpt", aln)
+        assert restored.loglikelihood() == pytest.approx(lnl, abs=1e-9)
+
+
+class TestValidation:
+    def test_wrong_alignment_rejected(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        save_checkpoint(eng, tmp_path / "w.ckpt")
+        other = simulate_alignment(tree, model, 250, seed=777)
+        with pytest.raises(ReproError, match="does not match"):
+            load_checkpoint(tmp_path / "w.ckpt", other)
+
+    def test_bad_version_rejected(self, ckpt_dataset, tmp_path):
+        import json
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        path = tmp_path / "v.ckpt"
+        save_checkpoint(eng, path)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError, match="version"):
+            load_checkpoint(path, aln)
+
+    def test_no_tmp_file_left_behind(self, ckpt_dataset, tmp_path):
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        save_checkpoint(eng, tmp_path / "a.ckpt")
+        assert not (tmp_path / "a.ckpt.tmp").exists()

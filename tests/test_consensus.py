@@ -1,0 +1,141 @@
+"""Tests for consensus trees and split-support annotation."""
+
+import pytest
+
+from repro import Tree, yule_tree
+from repro.errors import TreeError
+from repro.phylo.consensus import (
+    annotate_support,
+    consensus_splits,
+    consensus_tree,
+    split_frequencies,
+    tree_from_splits,
+)
+
+
+@pytest.fixture()
+def tree_sample():
+    """Three copies of one topology plus two different ones (n=10)."""
+    base = yule_tree(10, seed=1)
+    return [base.copy(), base.copy(), base.copy(),
+            yule_tree(10, seed=2), yule_tree(10, seed=3)]
+
+
+class TestSplitFrequencies:
+    def test_identical_trees_all_one(self):
+        t = yule_tree(8, seed=5)
+        freqs = split_frequencies([t.copy() for _ in range(4)])
+        assert len(freqs) == len(t.splits())
+        assert all(f == 1.0 for f in freqs.values())
+
+    def test_majority_fraction(self, tree_sample):
+        freqs = split_frequencies(tree_sample)
+        base_splits = tree_sample[0].splits()
+        assert all(freqs[s] >= 0.6 for s in base_splits)
+
+    def test_different_taxa_rejected(self):
+        a = yule_tree(6, seed=1)
+        b = yule_tree(6, seed=2, names=[f"x{i}" for i in range(6)])
+        with pytest.raises(TreeError, match="taxon set"):
+            split_frequencies([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TreeError, match="at least one"):
+            split_frequencies([])
+
+    def test_permuted_tip_numbering_handled(self):
+        """Trees whose tip ids are permuted but names match must agree."""
+        from repro.phylo.newick import parse_newick, write_newick
+        t = yule_tree(8, seed=9)
+        permuted = parse_newick(write_newick(t))  # renumbers tips
+        freqs = split_frequencies([t, permuted])
+        assert all(f == 1.0 for f in freqs.values())
+
+
+class TestConsensusTree:
+    def test_strict_consensus_of_identical_trees(self):
+        t = yule_tree(12, seed=7)
+        cons = consensus_tree([t.copy() for _ in range(5)], threshold=1.0)
+        assert cons.robinson_foulds(t) == 0
+
+    def test_majority_rule_contains_majority_splits(self, tree_sample):
+        cons = consensus_tree(tree_sample, threshold=0.5)
+        cons.validate()
+        kept = consensus_splits(tree_sample, 0.5)
+        assert set(kept) <= cons.splits()
+
+    def test_majority_splits_marked_with_unit_lengths(self, tree_sample):
+        cons = consensus_tree(tree_sample, threshold=0.5)
+        kept = consensus_splits(tree_sample, 0.5)
+        unit_edges = sum(
+            1 for u, v in cons.internal_edges()
+            if cons.branch_length(u, v) == 1.0
+        )
+        assert unit_edges == len(kept)
+
+    def test_threshold_monotone(self, tree_sample):
+        low = consensus_splits(tree_sample, 0.5)
+        high = consensus_splits(tree_sample, 0.9)
+        assert set(high) <= set(low)
+
+    def test_bad_threshold_rejected(self, tree_sample):
+        for bad in (0.0, 1.5, -0.1):
+            with pytest.raises(TreeError, match="threshold"):
+                consensus_splits(tree_sample, bad)
+
+    def test_greedy_skips_incompatible(self):
+        """Below 0.5 two incompatible splits can qualify; exactly one wins."""
+        a = Tree(5)
+        a._connect(0, 5, 0.1); a._connect(1, 5, 0.1)
+        a._connect(5, 6, 0.1); a._connect(2, 6, 0.1)
+        a._connect(6, 7, 0.1); a._connect(3, 7, 0.1); a._connect(4, 7, 0.1)
+        b = Tree(5)
+        b._connect(0, 5, 0.1); b._connect(2, 5, 0.1)
+        b._connect(5, 6, 0.1); b._connect(1, 6, 0.1)
+        b._connect(6, 7, 0.1); b._connect(3, 7, 0.1); b._connect(4, 7, 0.1)
+        kept = consensus_splits([a, b], threshold=0.4)
+        cons = tree_from_splits(a.names, list(kept))
+        cons.validate()
+        assert set(kept) <= cons.splits()
+
+
+class TestTreeFromSplits:
+    def test_no_splits_gives_valid_tree(self):
+        t = tree_from_splits([f"t{i}" for i in range(6)], [])
+        t.validate()
+        # all resolution branches are zero-length -> no supported splits
+        assert all(t.branch_length(u, v) == 0.0 for u, v in t.internal_edges())
+
+    def test_full_split_set_reconstructs_topology(self):
+        src = yule_tree(10, seed=11)
+        rebuilt = tree_from_splits(src.names, sorted(src.splits(), key=sorted))
+        assert rebuilt.robinson_foulds(src) == 0
+
+    def test_split_containing_taxon_zero_rejected(self):
+        with pytest.raises(TreeError, match="canonical"):
+            tree_from_splits([f"t{i}" for i in range(5)],
+                             [frozenset({0, 1})])
+
+    def test_trivial_split_rejected(self):
+        with pytest.raises(TreeError, match="trivial"):
+            tree_from_splits([f"t{i}" for i in range(5)], [frozenset({1})])
+
+
+class TestAnnotateSupport:
+    def test_full_support_for_identical_sample(self):
+        t = yule_tree(9, seed=13)
+        support = annotate_support(t, [t.copy() for _ in range(10)])
+        assert all(v == 1.0 for v in support.values())
+        assert set(support) == set(t.internal_edges())
+
+    def test_partial_support(self, tree_sample):
+        reference = tree_sample[0]
+        support = annotate_support(reference, tree_sample[3:])  # 2 others
+        assert all(0.0 <= v <= 1.0 for v in support.values())
+
+    def test_zero_support_for_alien_reference(self):
+        ref = yule_tree(10, seed=20)
+        others = [yule_tree(10, seed=s) for s in (21, 22)]
+        support = annotate_support(ref, others)
+        # random 10-taxon trees rarely share splits; most must be 0
+        assert sum(1 for v in support.values() if v == 0.0) >= len(support) - 2

@@ -1,0 +1,51 @@
+"""Tests for ASCII tree rendering."""
+
+import pytest
+
+from repro import Tree, yule_tree
+from repro.errors import TreeError
+from repro.phylo.draw import ascii_tree
+
+
+class TestAsciiTree:
+    def test_contains_all_taxa(self):
+        t = yule_tree(9, seed=31)
+        art = ascii_tree(t)
+        for name in t.names:
+            assert name in art
+
+    def test_two_taxon_tree(self):
+        t = Tree(2, ["left", "right"])
+        t._connect(0, 1, 0.5)
+        art = ascii_tree(t)
+        assert "left" in art and "right" in art
+
+    def test_show_lengths(self):
+        t = yule_tree(5, seed=32)
+        art = ascii_tree(t, show_lengths=True)
+        assert ":" in art
+
+    def test_edge_labels_rendered(self):
+        t = yule_tree(6, seed=33)
+        edge = t.internal_edges()[0]
+        key = (min(edge), max(edge))
+        art = ascii_tree(t, edge_labels={key: "97%"})
+        assert "[97%]" in art
+
+    def test_line_count_reasonable(self):
+        t = yule_tree(12, seed=34)
+        lines = ascii_tree(t).splitlines()
+        # one line per tip + one per internal junction (minus root) + header
+        assert 12 <= len(lines) <= 2 * 12
+
+    def test_width_scales(self):
+        t = yule_tree(7, seed=35)
+        narrow = ascii_tree(t, max_width=20)
+        wide = ascii_tree(t, max_width=100)
+        assert max(len(l) for l in wide.splitlines()) > \
+            max(len(l) for l in narrow.splitlines())
+
+    def test_too_large_rejected(self):
+        t = yule_tree(1001, seed=36)
+        with pytest.raises(TreeError, match="1000"):
+            ascii_tree(t)

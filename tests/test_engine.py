@@ -1,0 +1,241 @@
+"""Integration tests for the likelihood engine: correctness gold standards."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import (
+    GTR,
+    HKY85,
+    JC69,
+    Alignment,
+    LikelihoodEngine,
+    Poisson,
+    RateModel,
+    Tree,
+    simulate_alignment,
+    yule_tree,
+)
+from repro.errors import LikelihoodError
+
+
+def brute_force_lnl(tree, aln, model, rates):
+    """Sum over all internal state assignments — exponential gold standard."""
+    comp = aln.compress()
+    codes = aln.pattern_codes()
+    tipind = aln.alphabet.code_matrix()
+    inner = list(tree.inner_nodes())
+    root = inner[0]
+    directed = []
+    stack = [(x, root) for x in tree.neighbors(root)]
+    while stack:
+        node, par = stack.pop()
+        directed.append((par, node))
+        if not tree.is_tip(node):
+            stack.extend((y, node) for y in tree.neighbors(node) if y != par)
+    S = model.num_states
+    total = np.zeros(comp.num_patterns)
+    for c in range(rates.num_categories):
+        Ps = {
+            e: model.transition_matrices(
+                tree.branch_length(*e), np.array([rates.rates[c]])
+            )[0]
+            for e in directed
+        }
+        cat_l = np.zeros(comp.num_patterns)
+        for assign in itertools.product(range(S), repeat=len(inner)):
+            amap = dict(zip(inner, assign))
+            prob = np.full(comp.num_patterns, model.frequencies[amap[root]])
+            for p, ch in directed:
+                P = Ps[(p, ch)]
+                if tree.is_tip(ch):
+                    row = codes[aln.index_of(tree.names[ch])]
+                    prob = prob * (tipind[row] * P[amap[p], :][None, :]).sum(axis=1)
+                else:
+                    prob = prob * P[amap[p], amap[ch]]
+            cat_l += prob
+        total += rates.weights[c] * cat_l
+    return float(comp.weights @ np.log(total))
+
+
+class TestBruteForceAgreement:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_gtr_gamma(self, n):
+        tree = yule_tree(n, seed=n * 7)
+        model = GTR((1, 2.2, 0.7, 1.1, 3.1, 1), (0.32, 0.18, 0.24, 0.26))
+        rates = RateModel.gamma(0.6, 3)
+        aln = simulate_alignment(tree, model, 40, rates=rates, seed=n)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        assert eng.loglikelihood() == pytest.approx(
+            brute_force_lnl(tree, aln, model, rates), abs=1e-9
+        )
+
+    def test_with_ambiguity_and_gaps(self):
+        tree = yule_tree(4, seed=3)
+        aln = Alignment.from_sequences(
+            [("t0", "ACGTN-R"), ("t1", "ACGTAAY"), ("t2", "AC-TACG"), ("t3", "AWGTACG")]
+        )
+        model = HKY85(2.0, (0.3, 0.2, 0.2, 0.3))
+        rates = RateModel.gamma(1.0, 2)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        assert eng.loglikelihood() == pytest.approx(
+            brute_force_lnl(tree, aln, model, rates), abs=1e-9
+        )
+
+    def test_uniform_rates(self):
+        tree = yule_tree(5, seed=8)
+        model = JC69()
+        rates = RateModel.uniform()
+        aln = simulate_alignment(tree, model, 60, rates=rates, seed=9)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        assert eng.loglikelihood() == pytest.approx(
+            brute_force_lnl(tree, aln, model, rates), abs=1e-9
+        )
+
+    def test_invariant_sites_model(self):
+        tree = yule_tree(4, seed=10)
+        model = JC69()
+        rates = RateModel.gamma_invariant(0.9, 0.25, 2)
+        aln = simulate_alignment(tree, model, 50, rates=rates, seed=11)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        assert eng.loglikelihood() == pytest.approx(
+            brute_force_lnl(tree, aln, model, rates), abs=1e-9
+        )
+
+
+class TestRootInvariance:
+    def test_all_edges_give_same_lnl(self, engine_factory):
+        eng = engine_factory()
+        vals = [eng.edge_loglikelihood(u, v) for u, v in eng.tree.edges()]
+        assert max(vals) - min(vals) < 1e-9
+
+    def test_full_flag_matches_incremental(self, engine_factory):
+        eng = engine_factory()
+        incremental = eng.loglikelihood()
+        full = eng.edge_loglikelihood(*eng.default_edge(), full=True)
+        assert incremental == full
+
+
+class TestScaling:
+    def test_deep_caterpillar_forces_rescaling(self):
+        """A deep pectinate (caterpillar) tree with long branches drives CLV
+        entries below 2^-256, so scaling must engage for lnL to stay finite."""
+        n = 150
+        tree = Tree(n)
+        inner = iter(tree.inner_nodes())
+        prev = next(inner)
+        tree._connect(0, prev, 0.8)
+        tree._connect(1, prev, 0.8)
+        for tip in range(2, n - 1):
+            cur = next(inner)
+            tree._connect(prev, cur, 0.8)
+            tree._connect(tip, cur, 0.8)
+            prev = cur
+        tree._connect(n - 1, prev, 0.8)
+        tree.validate()
+        aln = simulate_alignment(tree, JC69(), 30, seed=21)
+        eng = LikelihoodEngine(tree, aln, JC69())
+        lnl = eng.loglikelihood()
+        assert np.isfinite(lnl)
+        assert eng.scale_counts.sum() > 0  # scaling actually engaged
+
+    def test_scaled_matches_brute_force_via_small_tree(self):
+        # Force scaling by huge branch lengths on a tiny tree and compare
+        # against log-space brute force.
+        tree = yule_tree(4, seed=22, scale=3.0)
+        model = JC69()
+        rates = RateModel.uniform()
+        aln = simulate_alignment(tree, model, 20, seed=23)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates)
+        assert eng.loglikelihood() == pytest.approx(
+            brute_force_lnl(tree, aln, model, rates), abs=1e-8
+        )
+
+
+class TestSiteLikelihoods:
+    def test_sum_matches_total(self, engine_factory):
+        eng = engine_factory()
+        total = eng.loglikelihood()
+        per_site = eng.site_loglikelihoods()
+        assert per_site.shape == (eng.alignment.num_sites,)
+        assert per_site.sum() == pytest.approx(total, abs=1e-9)
+
+
+class TestFullTraversals:
+    def test_recomputes_every_vector(self, engine_factory):
+        eng = engine_factory(fraction=1.0)
+        eng.full_traversals(1)
+        base = eng.stats.requests
+        eng.full_traversals(1)
+        # Each full traversal touches every inner vector at least once.
+        assert eng.stats.requests - base >= eng.num_inner
+
+    def test_count_validation(self, engine_factory):
+        with pytest.raises(LikelihoodError, match="count"):
+            engine_factory().full_traversals(0)
+
+    def test_value_stable_across_repeats(self, engine_factory):
+        eng = engine_factory()
+        assert eng.full_traversals(3) == eng.full_traversals(1)
+
+
+class TestDtypes:
+    def test_float32_close_to_float64(self, small_tree, small_alignment, small_model):
+        e64 = LikelihoodEngine(small_tree.copy(), small_alignment, small_model)
+        e32 = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               dtype=np.float32)
+        l64, l32 = e64.loglikelihood(), e32.loglikelihood()
+        assert l32 == pytest.approx(l64, rel=1e-4)
+
+    def test_float32_halves_store_bytes(self, small_tree, small_alignment, small_model):
+        e64 = LikelihoodEngine(small_tree.copy(), small_alignment, small_model)
+        e32 = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               dtype=np.float32)
+        assert e64.ancestral_vector_bytes() == 2 * e32.ancestral_vector_bytes()
+
+
+class TestProteinEngine:
+    def test_poisson_protein_runs(self):
+        tree = yule_tree(5, seed=30)
+        model = Poisson()
+        aln = simulate_alignment(tree, model, 40, seed=31)
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+        assert np.isfinite(eng.loglikelihood())
+        # CLV width: 20 states x 4 categories x 8 bytes per pattern.
+        assert eng.ancestral_vector_bytes() == eng.num_patterns * 20 * 4 * 8
+
+
+class TestConstructionErrors:
+    def test_too_few_taxa(self, small_alignment, small_model):
+        t = Tree(2)
+        t._connect(0, 1, 0.1)
+        with pytest.raises(LikelihoodError, match="at least 3"):
+            LikelihoodEngine(t, small_alignment, small_model)
+
+    def test_state_count_mismatch(self, small_tree, small_alignment):
+        with pytest.raises(LikelihoodError, match="states"):
+            LikelihoodEngine(small_tree.copy(), small_alignment, Poisson())
+
+    def test_store_and_geometry_conflict(self, small_tree, small_alignment,
+                                         small_model, engine_factory):
+        eng = engine_factory()
+        with pytest.raises(LikelihoodError, match="not both"):
+            LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                             store=eng.store, fraction=0.5)
+
+    def test_tip_has_no_vector(self, engine_factory):
+        with pytest.raises(LikelihoodError, match="no ancestral vector"):
+            engine_factory().item(0)
+
+    def test_rate_model_swap_requires_same_categories(self, engine_factory):
+        eng = engine_factory()
+        with pytest.raises(LikelihoodError, match="category count"):
+            eng.set_rates(RateModel.uniform())
+
+
+class TestMemoryAccounting:
+    def test_matches_alignment_formula(self, engine_factory):
+        eng = engine_factory()
+        assert eng.total_ancestral_bytes() == \
+            eng.alignment.total_ancestral_bytes(num_rates=4)

@@ -1,0 +1,225 @@
+"""Unit tests for the vectorized PLF kernels and numerical scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LikelihoodError
+from repro.phylo.alphabet import DNA
+from repro.phylo.likelihood import kernels
+from repro.phylo.models import GTR, JC69
+
+CODE_MATRIX = DNA.code_matrix()
+
+
+def _random_clv(rng, patterns=7, cats=3, states=4):
+    return rng.uniform(0.1, 1.0, size=(patterns, cats, states))
+
+
+class TestScalingScheme:
+    def test_float64_uses_2_pow_256(self):
+        s = kernels.ScalingScheme(np.float64)
+        assert s.multiplier == 2.0**256
+        assert s.threshold == 2.0**-256
+        assert s.log_multiplier == pytest.approx(256 * np.log(2))
+
+    def test_float32_uses_narrow_range(self):
+        s = kernels.ScalingScheme(np.float32)
+        assert np.isfinite(s.multiplier)
+        assert s.multiplier == np.float32(2.0) ** 30
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(LikelihoodError, match="unsupported"):
+            kernels.ScalingScheme(np.float16)
+
+
+class TestTipLookup:
+    def test_matches_manual_sum(self, rng):
+        P = JC69().transition_matrices(0.3, np.array([0.5, 2.0]))
+        lut = kernels.tip_lookup(P, CODE_MATRIX)
+        assert lut.shape == (2, 16, 4)
+        for c in range(2):
+            for code in range(16):
+                for a in range(4):
+                    manual = sum(P[c, a, b] * CODE_MATRIX[code, b] for b in range(4))
+                    assert lut[c, code, a] == pytest.approx(manual)
+
+    def test_gap_code_gives_row_sums(self):
+        P = GTR((1, 2, 3, 4, 5, 6), (0.1, 0.2, 0.3, 0.4)).transition_matrices(
+            0.2, np.ones(1)
+        )
+        lut = kernels.tip_lookup(P, CODE_MATRIX)
+        np.testing.assert_allclose(lut[0, 15], 1.0, atol=1e-12)  # rows sum to 1
+
+
+class TestPropagation:
+    def test_propagate_inner_matches_matmul(self, rng):
+        P = JC69().transition_matrices(0.4, np.array([1.0, 2.0]))
+        clv = _random_clv(rng, cats=2)
+        out = kernels.propagate_inner(P, clv)
+        for i in range(clv.shape[0]):
+            for c in range(2):
+                np.testing.assert_allclose(out[i, c], P[c] @ clv[i, c], atol=1e-14)
+
+    def test_propagate_tip_matches_inner_on_onehot(self, rng):
+        """A tip with unambiguous code equals an inner CLV with a one-hot row."""
+        P = GTR((1, 2, 1, 1, 2, 1), (0.3, 0.2, 0.3, 0.2)).transition_matrices(
+            0.25, np.array([0.7, 1.3])
+        )
+        codes = np.array([1, 2, 4, 8, 1])  # A C G T A
+        tip_out = kernels.propagate_tip(P, codes, CODE_MATRIX)
+        clv = CODE_MATRIX[codes][:, None, :].repeat(2, axis=1)
+        inner_out = kernels.propagate_inner(P, clv)
+        np.testing.assert_allclose(tip_out, inner_out, atol=1e-14)
+
+    def test_zero_branch_is_identity(self, rng):
+        P = JC69().transition_matrices(0.0, np.ones(2))
+        clv = _random_clv(rng, cats=2)
+        np.testing.assert_allclose(kernels.propagate_inner(P, clv), clv, atol=1e-14)
+
+
+class TestRescale:
+    def test_no_rescale_above_threshold(self, rng):
+        scheme = kernels.ScalingScheme()
+        clv = _random_clv(rng)
+        counts = np.zeros(clv.shape[0], dtype=np.int32)
+        assert kernels.rescale_clv(clv, counts, scheme) == 0
+        assert counts.sum() == 0
+
+    def test_rescale_small_sites(self):
+        scheme = kernels.ScalingScheme()
+        clv = np.full((3, 1, 4), 1e-100)
+        clv[1] = 0.5   # site 1 is fine
+        clv[0] = 1e-70  # above 2^-256 ~ 1.2e-77: no rescale
+        clv[2] = 2.0**-300
+        counts = np.zeros(3, dtype=np.int32)
+        n = kernels.rescale_clv(clv, counts, scheme)
+        assert n == 1
+        assert counts.tolist() == [0, 0, 1]
+        assert clv[2, 0, 0] == pytest.approx(2.0**-300 * 2.0**256)
+
+    def test_rescale_preserves_ratios(self):
+        scheme = kernels.ScalingScheme()
+        clv = np.array([[[1e-100, 2e-100, 3e-100, 4e-100]]]) * 2.0**-200
+        counts = np.zeros(1, dtype=np.int32)
+        kernels.rescale_clv(clv, counts, scheme)
+        ratios = clv[0, 0] / clv[0, 0, 0]
+        np.testing.assert_allclose(ratios, [1, 2, 3, 4])
+
+
+class TestUpdateClv:
+    def test_requires_exactly_one_operand_kind(self, rng):
+        scheme = kernels.ScalingScheme()
+        P = JC69().transition_matrices(0.1, np.ones(2))
+        clv = _random_clv(rng, cats=2)
+        out = np.empty_like(clv)
+        counts = np.zeros(clv.shape[0], dtype=np.int32)
+        with pytest.raises(LikelihoodError, match="left child"):
+            kernels.update_clv(out, P, P, clv, clv, np.zeros(7, int), None,
+                               CODE_MATRIX, counts, scheme)
+        with pytest.raises(LikelihoodError, match="right child"):
+            kernels.update_clv(out, P, P, clv, None, None, None,
+                               CODE_MATRIX, counts, scheme)
+
+    def test_product_structure(self, rng):
+        scheme = kernels.ScalingScheme()
+        P = JC69().transition_matrices(0.2, np.ones(1))
+        l = _random_clv(rng, cats=1)
+        r = _random_clv(rng, cats=1)
+        out = np.empty_like(l)
+        counts = np.zeros(l.shape[0], dtype=np.int32)
+        kernels.update_clv(out, P, P, l, r, None, None, CODE_MATRIX, counts, scheme)
+        expected = kernels.propagate_inner(P, l) * kernels.propagate_inner(P, r)
+        np.testing.assert_allclose(out, expected, atol=1e-14)
+
+
+class TestRootLikelihood:
+    def test_two_tip_edge_likelihood(self):
+        """Analytic check: two taxa across one branch under JC69."""
+        model = JC69()
+        t = 0.35
+        P = model.transition_matrices(t, np.ones(1))
+        codes_a = DNA.encode("AAGG").astype(np.int64)
+        codes_b = DNA.encode("AGGC").astype(np.int64)
+        site_l = kernels.edge_site_likelihoods(
+            P, model.frequencies, np.ones(1),
+            None, None, codes_a, codes_b, CODE_MATRIX,
+        )
+        same = 0.25 * (0.25 + 0.75 * np.exp(-4 * t / 3))
+        diff = 0.25 * (0.25 - 0.25 * np.exp(-4 * t / 3))
+        np.testing.assert_allclose(site_l, [same, diff, same, diff], atol=1e-12)
+
+    def test_log_likelihood_scaling_correction(self):
+        scheme = kernels.ScalingScheme()
+        site_l = np.array([0.5, 0.25])
+        weights = np.array([2.0, 1.0])
+        counts = np.array([1, 0])
+        lnl = kernels.log_likelihood_from_sites(site_l, weights, counts, scheme)
+        expected = 2 * (np.log(0.5) - scheme.log_multiplier) + np.log(0.25)
+        assert lnl == pytest.approx(expected)
+
+    def test_nonpositive_site_likelihood_raises(self):
+        scheme = kernels.ScalingScheme()
+        with pytest.raises(LikelihoodError, match="non-positive"):
+            kernels.log_likelihood_from_sites(
+                np.array([0.5, 0.0]), np.ones(2), np.zeros(2), scheme
+            )
+
+
+class TestBranchSumtable:
+    def test_sumtable_reproduces_edge_likelihood(self, rng):
+        """Σ_k A e^{λrt} must equal the direct edge likelihood."""
+        model = GTR((1, 2, 3, 4, 5, 6), (0.1, 0.2, 0.3, 0.4))
+        rates = np.array([0.5, 1.5])
+        weights = np.array([0.5, 0.5])
+        u = _random_clv(rng, cats=2)
+        v = _random_clv(rng, cats=2)
+        t = 0.27
+        table = kernels.branch_sumtable(
+            model.eigenvectors, model.inv_eigenvectors, model.frequencies,
+            u, v, None, None, CODE_MATRIX,
+        )
+        g, d1, d2 = kernels.branch_lnl_and_derivatives(
+            table, model.eigenvalues, rates, weights, np.ones(u.shape[0]), t
+        )
+        direct = kernels.edge_site_likelihoods(
+            model.transition_matrices(t, rates), model.frequencies, weights,
+            u, v, None, None, CODE_MATRIX,
+        )
+        np.testing.assert_allclose(g, direct, atol=1e-12)
+
+    def test_derivatives_match_finite_differences(self, rng):
+        model = JC69()
+        rates = np.array([0.3, 1.7])
+        weights = np.array([0.5, 0.5])
+        u = _random_clv(rng, cats=2)
+        v = _random_clv(rng, cats=2)
+        pw = rng.uniform(1, 3, size=u.shape[0])
+        table = kernels.branch_sumtable(
+            model.eigenvectors, model.inv_eigenvectors, model.frequencies,
+            u, v, None, None, CODE_MATRIX,
+        )
+
+        def lnl(t):
+            g, _, _ = kernels.branch_lnl_and_derivatives(
+                table, model.eigenvalues, rates, weights, pw, t
+            )
+            return float(pw @ np.log(g))
+
+        t = 0.4
+        _, d1, d2 = kernels.branch_lnl_and_derivatives(
+            table, model.eigenvalues, rates, weights, pw, t
+        )
+        h = 1e-6
+        fd1 = (lnl(t + h) - lnl(t - h)) / (2 * h)
+        assert d1 == pytest.approx(fd1, abs=1e-5)
+        h = 1e-4  # wider step: second differences amplify round-off
+        fd2 = (lnl(t + h) - 2 * lnl(t) + lnl(t - h)) / h**2
+        assert d2 == pytest.approx(fd2, abs=1e-4)
+
+    def test_zero_likelihood_reports_nan(self):
+        model = JC69()
+        table = np.zeros((2, 1, 4))
+        g, d1, d2 = kernels.branch_lnl_and_derivatives(
+            table, model.eigenvalues, np.ones(1), np.ones(1), np.ones(2), 0.1
+        )
+        assert np.isnan(d1) and np.isnan(d2)

@@ -1,0 +1,93 @@
+"""Tests for model-parameter optimization (α, GTR rates, frequencies)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GTR,
+    JC69,
+    LikelihoodEngine,
+    RateModel,
+    simulate_alignment,
+    yule_tree,
+)
+from repro.errors import ModelError
+from repro.phylo.likelihood.model_opt import (
+    optimize_alpha,
+    optimize_gtr_rates,
+    optimize_model,
+    use_empirical_frequencies,
+)
+
+
+class TestAlpha:
+    def test_improves_or_preserves_lnl(self, engine_factory):
+        eng = engine_factory(rates=RateModel.gamma(5.0, 4))  # far from truth (0.8)
+        before = eng.loglikelihood()
+        optimize_alpha(eng)
+        assert eng.loglikelihood() >= before
+
+    def test_recovers_simulated_shape(self):
+        """α used in simulation is recovered within a loose tolerance."""
+        tree = yule_tree(12, seed=60)
+        true_alpha = 0.5
+        aln = simulate_alignment(tree, JC69(), 2500,
+                                 rates=RateModel.gamma(true_alpha, 4), seed=61)
+        eng = LikelihoodEngine(tree.copy(), aln, JC69(), RateModel.gamma(2.0, 4))
+        est = optimize_alpha(eng)
+        assert 0.25 < est < 1.0  # order of magnitude, not 2.0
+
+    def test_requires_gamma_model(self, engine_factory):
+        eng = engine_factory(rates=RateModel.uniform())
+        with pytest.raises(ModelError, match="no Γ shape"):
+            optimize_alpha(eng)
+
+    def test_engine_left_at_optimum(self, engine_factory):
+        eng = engine_factory(rates=RateModel.gamma(3.0, 4))
+        est = optimize_alpha(eng)
+        assert eng.rates.alpha == pytest.approx(est)
+
+
+class TestGtrRates:
+    def test_improves_lnl_from_wrong_rates(self, small_tree, small_alignment):
+        wrong = GTR((1.0,) * 6, (0.3, 0.2, 0.25, 0.25))
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, wrong,
+                               RateModel.gamma(0.8, 4))
+        before = eng.loglikelihood()
+        rates6 = optimize_gtr_rates(eng, rounds=1, tol=1e-2)
+        assert eng.loglikelihood() >= before
+        assert rates6[5] == 1.0  # GT stays fixed
+
+    def test_requires_gtr_family(self, small_tree, small_alignment):
+        from repro import Poisson
+        from repro.phylo.models.base import ReversibleModel
+
+        R = np.ones((4, 4))
+        np.fill_diagonal(R, 0)
+        generic = ReversibleModel(R, np.full(4, 0.25), name="generic")
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, generic)
+        with pytest.raises(ModelError, match="GTR-family"):
+            optimize_gtr_rates(eng)
+
+
+class TestFrequencies:
+    def test_empirical_frequencies_applied(self, engine_factory):
+        eng = engine_factory()
+        freqs = use_empirical_frequencies(eng)
+        np.testing.assert_allclose(eng.model.frequencies, freqs)
+        np.testing.assert_allclose(
+            freqs, eng.alignment.empirical_frequencies()
+        )
+
+    def test_lnl_still_finite(self, engine_factory):
+        eng = engine_factory()
+        use_empirical_frequencies(eng)
+        assert np.isfinite(eng.loglikelihood())
+
+
+class TestJointOptimization:
+    def test_full_round_improves(self, engine_factory):
+        eng = engine_factory(rates=RateModel.gamma(4.0, 4))
+        out = optimize_model(eng, alpha=True, gtr=False)
+        assert out["lnl_end"] >= out["lnl_start"]
+        assert "alpha" in out

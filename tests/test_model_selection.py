@@ -1,0 +1,132 @@
+"""Tests for model selection (AIC/BIC, likelihood-ratio tests)."""
+
+import pytest
+
+from repro import GTR, HKY85, JC69, RateModel, simulate_alignment, yule_tree
+from repro.errors import ModelError
+from repro.phylo.likelihood.engine import LikelihoodEngine
+from repro.phylo.model_selection import (
+    FitResult,
+    count_free_parameters,
+    fit_model,
+    likelihood_ratio_test,
+    select_model,
+)
+
+
+@pytest.fixture(scope="module")
+def sel_dataset():
+    """Data simulated under HKY with strong κ: JC should lose, HKY/GTR win."""
+    tree = yule_tree(8, seed=701)
+    truth = HKY85(6.0, (0.35, 0.15, 0.15, 0.35))
+    aln = simulate_alignment(tree, truth, 1200, rates=RateModel.gamma(1.0, 4),
+                             seed=702)
+    return tree, aln
+
+
+class TestParameterCounting:
+    @pytest.mark.parametrize("model,expected_model_params", [
+        (JC69(), 0),
+        (GTR((1, 2, 1, 1, 2, 1), (0.3, 0.2, 0.25, 0.25)), 8),
+        (HKY85(2.0, (0.3, 0.2, 0.25, 0.25)), 4),
+    ])
+    def test_model_parameter_counts(self, sel_dataset, model,
+                                    expected_model_params):
+        tree, aln = sel_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+        n_branches = 2 * tree.num_tips - 3
+        assert count_free_parameters(eng) == \
+            n_branches + expected_model_params + 1  # +1 for alpha
+
+    def test_uniform_rates_drop_alpha(self, sel_dataset):
+        tree, aln = sel_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, JC69(), RateModel.uniform())
+        assert count_free_parameters(eng) == 2 * tree.num_tips - 3
+
+    def test_invariant_sites_add_one(self, sel_dataset):
+        tree, aln = sel_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, JC69(),
+                               RateModel.gamma_invariant(1.0, 0.1, 4))
+        base = LikelihoodEngine(tree.copy(), aln, JC69(), RateModel.gamma(1.0, 4))
+        assert count_free_parameters(eng) == count_free_parameters(base) + 1
+
+
+class TestCriteria:
+    def test_aic_formula(self):
+        fit = FitResult("m", log_likelihood=-100.0, num_parameters=5,
+                        sample_size=1000)
+        assert fit.aic == 210.0
+        assert fit.bic > fit.aic  # log(1000) > 2
+
+    def test_aicc_approaches_aic_for_large_n(self):
+        small = FitResult("m", -100.0, 5, 20)
+        large = FitResult("m", -100.0, 5, 100000)
+        assert small.aicc - small.aic > large.aicc - large.aic
+        assert large.aicc == pytest.approx(large.aic, abs=1e-2)
+
+    def test_aicc_infinite_when_saturated(self):
+        fit = FitResult("m", -100.0, 25, 26)
+        assert fit.aicc == float("inf")
+
+
+class TestSelection:
+    def test_true_model_family_wins(self, sel_dataset):
+        tree, aln = sel_dataset
+        winner, fits = select_model(
+            tree, aln, lambda: RateModel.gamma(1.0, 4), criterion="aic",
+            branch_passes=1,
+        )
+        assert len(fits) == 4
+        # data were simulated under HKY: JC and K80 must lose
+        assert not winner.name.startswith("JC")
+        assert not winner.name.startswith("K80")
+
+    def test_lnl_monotone_in_nesting(self, sel_dataset):
+        tree, aln = sel_dataset
+        _, fits = select_model(tree, aln, lambda: RateModel.gamma(1.0, 4),
+                               branch_passes=1)
+        by_name = {f.name.split("+")[0]: f for f in fits}
+        assert by_name["JC69"].log_likelihood <= \
+            by_name["K80"].log_likelihood + 1e-6
+        assert by_name["HKY85"].log_likelihood <= \
+            by_name["GTR"].log_likelihood + 1e-6
+
+    def test_bad_criterion_rejected(self, sel_dataset):
+        tree, aln = sel_dataset
+        with pytest.raises(ModelError, match="criterion"):
+            select_model(tree, aln, RateModel.uniform, criterion="dic")
+
+    def test_out_of_core_fit_identical(self, sel_dataset):
+        tree, aln = sel_dataset
+        a = fit_model(tree, aln, JC69(), RateModel.gamma(1.0, 4),
+                      optimize_shape=False, branch_passes=1)
+        b = fit_model(tree, aln, JC69(), RateModel.gamma(1.0, 4),
+                      optimize_shape=False, branch_passes=1,
+                      fraction=0.25, policy="lru")
+        assert a.log_likelihood == b.log_likelihood
+
+
+class TestLrt:
+    def test_significant_for_strong_kappa(self, sel_dataset):
+        tree, aln = sel_dataset
+        jc = fit_model(tree, aln, JC69(), RateModel.gamma(1.0, 4),
+                       branch_passes=1)
+        k80 = fit_model(tree, aln,
+                        __import__("repro").K80(2.0), RateModel.gamma(1.0, 4),
+                        branch_passes=1)
+        result = likelihood_ratio_test(jc, k80)
+        assert result.degrees_of_freedom == 1
+        assert result.significant  # kappa=6 in truth: decisively better
+
+    def test_statistic_nonnegative(self):
+        null = FitResult("a", -100.0, 3, 500)
+        alt = FitResult("b", -100.0000001, 4, 500)  # epsilon worse
+        result = likelihood_ratio_test(null, alt)
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_non_nested_rejected(self):
+        null = FitResult("a", -100.0, 5, 500)
+        alt = FitResult("b", -90.0, 5, 500)
+        with pytest.raises(ModelError, match="more parameters"):
+            likelihood_ratio_test(null, alt)

@@ -1,0 +1,174 @@
+"""Unit tests for alignments, parsers, pattern compression, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.phylo.alphabet import AMINO_ACID, DNA
+from repro.phylo.msa import Alignment
+
+SEQS = [("a", "ACGTAC"), ("b", "ACGTAC"), ("c", "ACTTAC"), ("d", "AGTTAC")]
+
+
+class TestConstruction:
+    def test_from_sequences(self):
+        aln = Alignment.from_sequences(SEQS)
+        assert aln.num_taxa == 4
+        assert aln.num_sites == 6
+        assert aln.names == ["a", "b", "c", "d"]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(AlignmentError, match="unequal lengths"):
+            Alignment.from_sequences([("a", "ACG"), ("b", "AC")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AlignmentError, match="duplicate taxon names"):
+            Alignment.from_sequences([("a", "ACG"), ("a", "ACG")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError, match="no sequences"):
+            Alignment.from_sequences([])
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(AlignmentError, match="zero sites"):
+            Alignment(["a"], np.zeros((1, 0), dtype=np.uint8), DNA)
+
+    def test_codes_are_read_only(self):
+        aln = Alignment.from_sequences(SEQS)
+        with pytest.raises(ValueError):
+            aln.codes[0, 0] = 3
+
+    def test_sequence_accessors(self):
+        aln = Alignment.from_sequences(SEQS)
+        assert aln.sequence("c") == "ACTTAC"
+        assert aln.sequence(0) == "ACGTAC"
+        assert aln.index_of("d") == 3
+        with pytest.raises(AlignmentError, match="unknown taxon"):
+            aln.index_of("nope")
+
+
+class TestFasta:
+    def test_parse_wrapped(self):
+        text = ">x\nACG\nTAC\n>y desc ignored\nACGTAC\n"
+        aln = Alignment.from_fasta(text)
+        assert aln.names == ["x", "y"]
+        assert aln.sequence("x") == "ACGTAC"
+
+    def test_roundtrip(self):
+        aln = Alignment.from_sequences(SEQS)
+        again = Alignment.from_fasta(aln.to_fasta())
+        assert again.names == aln.names
+        assert np.array_equal(again.codes, aln.codes)
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(AlignmentError, match="before any header"):
+            Alignment.from_fasta("ACGT\n>x\nACGT\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError, match="no FASTA records"):
+            Alignment.from_fasta("\n\n")
+
+
+class TestPhylip:
+    def test_parse(self):
+        text = "2 4\nalpha  ACGT\nbeta   AC-T\n"
+        aln = Alignment.from_phylip(text)
+        assert aln.names == ["alpha", "beta"]
+        assert aln.sequence("beta") == "AC-T"
+
+    def test_roundtrip(self):
+        aln = Alignment.from_sequences(SEQS)
+        again = Alignment.from_phylip(aln.to_phylip())
+        assert again.names == aln.names
+        assert np.array_equal(again.codes, aln.codes)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(AlignmentError, match="bad PHYLIP header"):
+            Alignment.from_phylip("two four\na ACGT\n")
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(AlignmentError, match="promises 3 taxa"):
+            Alignment.from_phylip("3 4\na ACGT\nb ACGT\n")
+
+    def test_site_count_mismatch_rejected(self):
+        with pytest.raises(AlignmentError, match="header says 4"):
+            Alignment.from_phylip("1 4\na ACGTT\n")
+
+
+class TestPatternCompression:
+    def test_identical_columns_merge(self):
+        aln = Alignment.from_sequences(
+            [("a", "AAC"), ("b", "AAg"), ("c", "AAT")]  # cols 0,1 identical
+        )
+        comp = aln.compress()
+        assert comp.num_patterns == 2
+        assert comp.weights.sum() == 3
+        assert comp.pattern_of_site.tolist() == [0, 0, 1]
+
+    def test_ambiguity_prevents_merging(self):
+        aln = Alignment.from_sequences([("a", "AN"), ("b", "AA")])
+        assert aln.num_patterns == 2  # N != A even though compatible
+
+    def test_weights_preserved(self, small_alignment):
+        comp = small_alignment.compress()
+        assert comp.weights.sum() == small_alignment.num_sites
+        assert comp.num_patterns <= small_alignment.num_sites
+
+    def test_pattern_codes_match_first_occurrence(self):
+        aln = Alignment.from_sequences([("a", "CAC"), ("b", "GTG")])
+        pc = aln.pattern_codes()
+        assert pc.shape == (2, 2)
+        # pattern 0 is column 0 (C/G), pattern 1 is column 1 (A/T)
+        assert pc[0, 0] == DNA.encode_char("C")
+        assert pc[1, 1] == DNA.encode_char("T")
+
+    def test_compression_cached(self, small_alignment):
+        assert small_alignment.compress() is small_alignment.compress()
+
+
+class TestEmpiricalFrequencies:
+    def test_uniform_data(self):
+        aln = Alignment.from_sequences([("a", "ACGT"), ("b", "ACGT")])
+        np.testing.assert_allclose(aln.empirical_frequencies(), [0.25] * 4)
+
+    def test_gaps_excluded(self):
+        aln = Alignment.from_sequences([("a", "AA--"), ("b", "AA--")])
+        np.testing.assert_allclose(aln.empirical_frequencies(), [1, 0, 0, 0])
+
+    def test_ambiguity_mass_split(self):
+        aln = Alignment.from_sequences([("a", "R")])  # A or G
+        np.testing.assert_allclose(aln.empirical_frequencies(), [0.5, 0, 0.5, 0])
+
+    def test_all_gaps_gives_uniform(self):
+        aln = Alignment.from_sequences([("a", "--")])
+        np.testing.assert_allclose(aln.empirical_frequencies(), [0.25] * 4)
+
+    def test_sums_to_one(self, small_alignment):
+        assert small_alignment.empirical_frequencies().sum() == pytest.approx(1.0)
+
+
+class TestMemoryAccounting:
+    def test_paper_worked_example(self):
+        """§3.1: s=10,000 DNA sites under Γ4 doubles -> 1,280,000 B/vector."""
+        codes = np.tile(DNA.encode("ACGT"), (3, 2500))
+        aln = Alignment(["a", "b", "c"], codes, DNA)
+        assert aln.num_sites == 10_000
+        w = aln.ancestral_vector_bytes(num_rates=4, compressed=False)
+        assert w == 1_280_000
+
+    def test_total_is_n_minus_2_vectors(self):
+        codes = np.tile(DNA.encode("ACGT"), (10, 25))
+        aln = Alignment([f"t{i}" for i in range(10)], codes, DNA)
+        assert aln.total_ancestral_bytes(compressed=False) == \
+            8 * aln.ancestral_vector_bytes(compressed=False)
+
+    def test_protein_is_20_states(self):
+        aln = Alignment.from_sequences([("a", "ARND"), ("b", "ARNE")], AMINO_ACID)
+        # 20 states x 4 rates x 8 bytes = 640 bytes per site (paper: 8*80*s)
+        assert aln.ancestral_vector_bytes(compressed=False) == 4 * 640
+
+    def test_single_precision_halves(self):
+        aln = Alignment.from_sequences(SEQS)
+        full = aln.ancestral_vector_bytes(dtype=np.float64)
+        half = aln.ancestral_vector_bytes(dtype=np.float32)
+        assert full == 2 * half

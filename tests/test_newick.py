@@ -1,0 +1,118 @@
+"""Unit tests for Newick parsing and serialization."""
+
+import pytest
+
+from repro.errors import NewickError
+from repro.phylo.newick import parse_newick, write_newick
+from repro.phylo.tree import Tree
+from repro.simulate import yule_tree
+
+
+class TestParsing:
+    def test_unrooted_trifurcation(self):
+        t = parse_newick("(a:0.1,b:0.2,(c:0.3,d:0.4):0.5);")
+        assert t.num_tips == 4
+        assert sorted(t.names) == ["a", "b", "c", "d"]
+        t.validate()
+
+    def test_rooted_bifurcation_is_unrooted(self):
+        t = parse_newick("((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.05);")
+        assert t.num_tips == 4
+        # Root edges fuse: the central branch is 0.05 + 0.05.
+        inner = [x for x in t.inner_nodes()]
+        central = [t.branch_length(u, v) for u, v in t.internal_edges()]
+        assert central == [pytest.approx(0.1)]
+
+    def test_missing_lengths_get_default(self):
+        t = parse_newick("(a,b,(c,d));", default_length=0.42)
+        assert t.branch_length(0, t.neighbors(0)[0]) == pytest.approx(0.42)
+
+    def test_quoted_labels(self):
+        t = parse_newick("('taxon one':1,'b':1,c:1);")
+        assert "taxon one" in t.names
+
+    def test_two_leaf_tree(self):
+        t = parse_newick("(a:0.3,b:0.4);")
+        assert t.num_tips == 2
+        assert t.branch_length(0, 1) == pytest.approx(0.7)
+
+    def test_scientific_notation_lengths(self):
+        t = parse_newick("(a:1e-3,b:2E-2,c:0.5);")
+        assert t.branch_length(0, 3) == pytest.approx(1e-3)
+
+    def test_whitespace_tolerated(self):
+        t = parse_newick(" ( a : 0.1 , b : 0.1 , c : 0.1 ) ; ")
+        assert t.num_tips == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,msg",
+        [
+            ("", "empty"),
+            ("(a,b,(c,d);", "unbalanced"),
+            ("(a,b,c));", "trailing|unbalanced"),
+            ("(a,b,c,d,e);", "multifurcation"),
+            ("((a,b,c),d,e);", "multifurcation"),
+            ("(a:x,b:1,c:1);", "bad branch length"),
+            ("(a,a,b);", "duplicate"),
+            ("((,),b,c);", "unlabelled"),
+        ],
+    )
+    def test_malformed(self, text, msg):
+        with pytest.raises(NewickError, match=msg):
+            parse_newick(text)
+
+    def test_unterminated_quote(self):
+        with pytest.raises(NewickError, match="unterminated"):
+            parse_newick("('a,b,c);")
+
+
+class TestRoundtrip:
+    def test_topology_and_lengths_survive(self):
+        src = yule_tree(20, seed=7)
+        again = parse_newick(write_newick(src, precision=17))
+        assert src.robinson_foulds(_renumber_like(src, again)) == 0
+
+    def test_two_leaf_roundtrip(self):
+        t = Tree(2, ["x", "y"])
+        t._connect(0, 1, 0.5)
+        again = parse_newick(write_newick(t))
+        assert again.branch_length(0, 1) == pytest.approx(0.5)
+
+    def test_large_tree_no_recursion_error(self):
+        t = yule_tree(2000, seed=1)
+        text = write_newick(t)
+        again = parse_newick(text)
+        assert again.num_tips == 2000
+
+    def test_patristic_distances_preserved(self):
+        src = yule_tree(8, seed=9)
+        again = parse_newick(write_newick(src, precision=17))
+        remap = {n: i for i, n in enumerate(again.names)}
+        for i in range(8):
+            for j in range(i + 1, 8):
+                d_src = src.patristic_distance(i, j)
+                d_new = again.patristic_distance(
+                    remap[src.names[i]], remap[src.names[j]]
+                )
+                assert d_new == pytest.approx(d_src, rel=1e-9)
+
+
+def _renumber_like(reference: Tree, other: Tree) -> Tree:
+    """Permute ``other``'s tip numbering to match ``reference``'s names."""
+    # Build a name->tip map and re-run splits on a renamed copy: easiest is
+    # to rebuild via newick with names, so just compare splits on names.
+    assert sorted(reference.names) == sorted(other.names)
+    # Translate other's splits into reference numbering by names.
+    t = other.copy()
+    order = [other.names.index(name) for name in reference.names]
+    # Renumber by constructing a mapping old->new.
+    mapping = {old: new for new, old in enumerate(order)}
+    renamed = Tree(reference.num_tips, reference.names)
+    renamed._neighbors = [[] for _ in range(t.num_nodes)]
+    for (u, v), ln in t._lengths.items():
+        uu = mapping.get(u, u) if u < t.num_tips else u
+        vv = mapping.get(v, v) if v < t.num_tips else v
+        renamed._connect(uu, vv, ln)
+    return renamed

@@ -1,0 +1,128 @@
+"""Tests for distance matrices and Neighbor Joining (the §2 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro import Alignment, JC69, simulate_alignment, yule_tree
+from repro.errors import TreeError
+from repro.nj.distances import jc69_distances, p_distances
+from repro.nj.neighbor_joining import neighbor_joining, nj_tree
+
+
+class TestPDistances:
+    def test_identical_rows_zero(self):
+        aln = Alignment.from_sequences([("a", "ACGT"), ("b", "ACGT")])
+        np.testing.assert_allclose(p_distances(aln), 0.0)
+
+    def test_simple_fractions(self):
+        aln = Alignment.from_sequences([("a", "AAAA"), ("b", "AAAT")])
+        assert p_distances(aln)[0, 1] == pytest.approx(0.25)
+
+    def test_gaps_pairwise_deleted(self):
+        aln = Alignment.from_sequences([("a", "AA-T"), ("b", "AT-T")])
+        # 3 comparable sites, 1 mismatch
+        assert p_distances(aln)[0, 1] == pytest.approx(1 / 3)
+
+    def test_ambiguity_compatible_is_match(self):
+        aln = Alignment.from_sequences([("a", "R"), ("b", "A")])  # R ⊇ A
+        assert p_distances(aln)[0, 1] == 0.0
+
+    def test_symmetric_zero_diagonal(self, small_alignment):
+        D = p_distances(small_alignment)
+        np.testing.assert_allclose(D, D.T)
+        np.testing.assert_allclose(np.diag(D), 0.0)
+
+
+class TestJcDistances:
+    def test_correction_increases_distance(self):
+        aln = Alignment.from_sequences([("a", "A" * 8 + "TT"), ("b", "A" * 8 + "CC")])
+        p = p_distances(aln)[0, 1]
+        d = jc69_distances(aln)[0, 1]
+        assert d > p
+
+    def test_formula(self):
+        aln = Alignment.from_sequences([("a", "AAAA"), ("b", "AAAT")])
+        d = jc69_distances(aln)[0, 1]
+        assert d == pytest.approx(-0.75 * np.log(1 - 4 * 0.25 / 3))
+
+    def test_saturation_clamped(self):
+        aln = Alignment.from_sequences([("a", "AAAA"), ("b", "TTTT")])
+        assert jc69_distances(aln, max_distance=5.0)[0, 1] == 5.0
+
+    def test_estimates_true_branch_length(self):
+        """JC distances on long JC simulations approximate path lengths."""
+        tree = yule_tree(6, seed=90)
+        from repro.phylo.models.rates import RateModel
+        aln = simulate_alignment(tree, JC69(), 30000,
+                                 rates=RateModel.uniform(), seed=91)
+        D = jc69_distances(aln)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                truth = tree.patristic_distance(i, j)
+                assert D[i, j] == pytest.approx(truth, abs=0.05)
+
+
+class TestNeighborJoining:
+    def test_recovers_additive_tree_exactly(self):
+        """On exactly-additive distances NJ is guaranteed to recover the tree."""
+        true = yule_tree(12, seed=92)
+        n = true.num_tips
+        D = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                D[i, j] = D[j, i] = true.patristic_distance(i, j)
+        out = neighbor_joining(D, true.names)
+        assert out.robinson_foulds(true) == 0
+        # branch lengths recovered too
+        for u, v in true.edges():
+            if true.is_tip(u):
+                assert out.branch_length(u, out.neighbors(u)[0]) == pytest.approx(
+                    true.branch_length(u, true.neighbors(u)[0]), abs=1e-9
+                )
+
+    def test_three_taxa(self):
+        D = np.array([[0, 2.0, 3.0], [2.0, 0, 4.0], [3.0, 4.0, 0]])
+        t = neighbor_joining(D)
+        t.validate()
+        # three-point formulas: d(0,c)=0.5, d(1,c)=1.5, d(2,c)=2.5
+        c = 3
+        assert t.branch_length(0, c) == pytest.approx(0.5)
+        assert t.branch_length(1, c) == pytest.approx(1.5)
+        assert t.branch_length(2, c) == pytest.approx(2.5)
+
+    def test_from_alignment(self, small_alignment):
+        t = nj_tree(small_alignment)
+        t.validate()
+        assert sorted(t.names) == sorted(small_alignment.names)
+
+    def test_nj_tree_close_to_truth(self, small_tree, small_alignment):
+        t = nj_tree(small_alignment)
+        # the shared dataset is clean enough for NJ to get close
+        assert t.robinson_foulds(small_tree) <= 4
+
+    def test_validation_errors(self):
+        with pytest.raises(TreeError, match="square"):
+            neighbor_joining(np.zeros((3, 4)))
+        with pytest.raises(TreeError, match="at least 3"):
+            neighbor_joining(np.zeros((2, 2)))
+        bad = np.zeros((3, 3))
+        bad[0, 1] = 1.0  # asymmetric
+        with pytest.raises(TreeError, match="symmetric"):
+            neighbor_joining(bad)
+        diag = np.full((3, 3), 1.0)
+        with pytest.raises(TreeError, match="zero diagonal"):
+            neighbor_joining(diag)
+
+    def test_negative_lengths_floored(self):
+        # A non-additive matrix that drives NJ lengths negative.
+        D = np.array(
+            [
+                [0.0, 0.1, 1.0, 1.0],
+                [0.1, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0, 0.1],
+                [1.0, 1.0, 0.1, 0.0],
+            ]
+        )
+        t = neighbor_joining(D)
+        for u, v in t.edges():
+            assert t.branch_length(u, v) > 0

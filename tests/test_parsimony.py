@@ -1,0 +1,115 @@
+"""Tests for Fitch parsimony scoring and stepwise-addition starting trees."""
+
+import numpy as np
+import pytest
+
+from repro import Alignment, GTR, Tree, simulate_alignment, yule_tree
+from repro.errors import TreeError
+from repro.phylo.parsimony import (
+    alignment_fitch_score,
+    fitch_score,
+    stepwise_addition_tree,
+)
+
+
+class TestFitchScore:
+    def test_identical_sequences_score_zero(self):
+        aln = Alignment.from_sequences([(f"t{i}", "ACGT") for i in range(4)])
+        tree = Tree.random_topology(4, seed=1)
+        assert alignment_fitch_score(tree, aln) == 0
+
+    def test_known_four_taxon_case(self):
+        # One column, pattern AABB on the matching tree: 1 mutation.
+        aln = Alignment.from_sequences(
+            [("t0", "A"), ("t1", "A"), ("t2", "T"), ("t3", "T")]
+        )
+        # ((t0,t1),(t2,t3)) topology:
+        tree = Tree(4)
+        tree._connect(0, 4, 0.1)
+        tree._connect(1, 4, 0.1)
+        tree._connect(2, 5, 0.1)
+        tree._connect(3, 5, 0.1)
+        tree._connect(4, 5, 0.1)
+        assert alignment_fitch_score(tree, aln) == 1
+
+    def test_conflicting_pattern_costs_more(self):
+        # ABAB on ((t0,t1),(t2,t3)) needs 2 mutations.
+        aln = Alignment.from_sequences(
+            [("t0", "A"), ("t1", "T"), ("t2", "A"), ("t3", "T")]
+        )
+        tree = Tree(4)
+        tree._connect(0, 4, 0.1)
+        tree._connect(1, 4, 0.1)
+        tree._connect(2, 5, 0.1)
+        tree._connect(3, 5, 0.1)
+        tree._connect(4, 5, 0.1)
+        assert alignment_fitch_score(tree, aln) == 2
+
+    def test_gaps_never_force_mutations(self):
+        aln = Alignment.from_sequences(
+            [("t0", "A"), ("t1", "-"), ("t2", "-"), ("t3", "A")]
+        )
+        tree = Tree.random_topology(4, seed=2)
+        assert alignment_fitch_score(tree, aln) == 0
+
+    def test_pattern_weights_respected(self):
+        # Two identical variable columns compress to one pattern of weight 2.
+        aln = Alignment.from_sequences(
+            [("t0", "AA"), ("t1", "AA"), ("t2", "TT"), ("t3", "TT")]
+        )
+        tree = Tree.random_topology(4, seed=3)
+        score2 = alignment_fitch_score(tree, aln)
+        aln1 = Alignment.from_sequences(
+            [("t0", "A"), ("t1", "A"), ("t2", "T"), ("t3", "T")]
+        )
+        assert score2 == 2 * alignment_fitch_score(tree, aln1)
+
+    def test_rooting_invariance(self, small_alignment):
+        tree = yule_tree(10, seed=44, names=small_alignment.names)
+        codes = small_alignment.pattern_codes()
+        weights = small_alignment.compress().weights
+        ordered = np.stack([codes[small_alignment.index_of(tree.names[t])]
+                            for t in range(10)])
+        # fitch_score roots at tip 0's anchor; compare against re-labelled trees
+        base = fitch_score(tree, ordered, weights)
+        assert base == alignment_fitch_score(tree, small_alignment)
+
+    def test_wrong_row_count_rejected(self):
+        tree = Tree.random_topology(4, seed=5)
+        with pytest.raises(TreeError, match="code rows"):
+            fitch_score(tree, np.zeros((3, 5), dtype=np.uint8), np.ones(5))
+
+
+class TestStepwiseAddition:
+    def test_valid_tree_on_all_taxa(self, small_alignment):
+        t = stepwise_addition_tree(small_alignment, seed=9)
+        t.validate()
+        assert t.num_tips == small_alignment.num_taxa
+        assert sorted(t.names) == sorted(small_alignment.names)
+
+    def test_recovers_easy_topology(self):
+        true = yule_tree(8, seed=80)
+        aln = simulate_alignment(true, GTR(), 1200, seed=81)
+        t = stepwise_addition_tree(aln, seed=10)
+        assert t.robinson_foulds(true) <= 2  # near-perfect on clean data
+
+    def test_parsimony_score_beats_random_tree(self, small_alignment):
+        sw = stepwise_addition_tree(small_alignment, seed=11)
+        rand = Tree.random_topology(small_alignment.num_taxa, seed=12,
+                                    names=small_alignment.names)
+        assert alignment_fitch_score(sw, small_alignment) <= \
+            alignment_fitch_score(rand, small_alignment)
+
+    def test_sampled_edges_variant(self, small_alignment):
+        t = stepwise_addition_tree(small_alignment, seed=13, sample_edges=5)
+        t.validate()
+
+    def test_deterministic_for_seed(self, small_alignment):
+        a = stepwise_addition_tree(small_alignment, seed=14)
+        b = stepwise_addition_tree(small_alignment, seed=14)
+        assert a.robinson_foulds(b) == 0
+
+    def test_too_few_taxa_rejected(self):
+        aln = Alignment.from_sequences([("a", "ACGT"), ("b", "ACGT")])
+        with pytest.raises(TreeError, match="at least 3"):
+            stepwise_addition_tree(aln)

@@ -1,0 +1,101 @@
+"""Tests for traversal-order prefetching (the paper's §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, LikelihoodEngine, RateModel
+from repro.core.backing import SimulatedDiskBackingStore
+from repro.core.prefetch import Prefetcher
+from repro.core.vecstore import AncestralVectorStore
+from repro.errors import OutOfCoreError
+
+SHAPE = (4, 2, 4)
+
+
+def store_with_disk(n=12, m=4):
+    disk = SimulatedDiskBackingStore(n, SHAPE)
+    return AncestralVectorStore(n, SHAPE, num_slots=m, policy="lru",
+                                backing=disk), disk
+
+
+class TestConfiguration:
+    def test_depth_validated(self):
+        store, _ = store_with_disk()
+        with pytest.raises(OutOfCoreError, match="depth"):
+            Prefetcher(store, depth=0)
+
+    def test_overlap_validated(self):
+        store, _ = store_with_disk()
+        with pytest.raises(OutOfCoreError, match="overlap"):
+            Prefetcher(store, overlap=1.5)
+
+
+class TestPrefetching:
+    def _warm_schedule(self, store):
+        """Fill the backing store and build a read schedule over it."""
+        for i in range(store.num_items):
+            store.get(i, write_only=True)[:] = i
+        store.evict_all()
+        store.stats.reset()
+        return [(i, (), False) for i in range(store.num_items)]
+
+    def test_reads_issued_ahead_and_hits_counted(self):
+        store, _ = store_with_disk()
+        schedule = self._warm_schedule(store)
+        pf = Prefetcher(store, depth=3)
+        pf.run_schedule(schedule)
+        assert store.stats.prefetch_reads > 0
+        assert store.stats.prefetch_hits > 0
+
+    def test_write_only_items_not_prefetched(self):
+        store, _ = store_with_disk()
+        self._warm_schedule(store)
+        store.evict_all()
+        store.stats.reset()
+        pf = Prefetcher(store, depth=3)
+        pf.run_schedule([(i, (), True) for i in range(store.num_items)])
+        assert store.stats.prefetch_reads == 0
+
+    def test_full_overlap_conservation(self):
+        """hidden + visible must equal the total I/O cost; with overlap=1.0
+        every swap issued inside a prefetch call is fully hidden."""
+        store, disk = store_with_disk()
+        schedule = self._warm_schedule(store)
+        disk.simulated_seconds = 0.0
+        pf = Prefetcher(store, depth=2, overlap=1.0)
+        pf.run_schedule(schedule)
+        per_op = disk.disk.transfer_time(store.item_bytes, True)
+        total_io = (store.stats.reads + store.stats.writes) * per_op
+        assert pf.hidden_seconds > 0
+        assert disk.simulated_seconds + pf.hidden_seconds == \
+            pytest.approx(total_io, rel=1e-9)
+        assert disk.simulated_seconds < total_io
+
+    def test_partial_overlap_hides_half_as_much(self):
+        def run(overlap):
+            store, disk = store_with_disk()
+            schedule = self._warm_schedule(store)
+            disk.simulated_seconds = 0.0
+            pf = Prefetcher(store, depth=2, overlap=overlap)
+            pf.run_schedule(schedule)
+            return pf.hidden_seconds
+
+        assert run(0.5) == pytest.approx(0.5 * run(1.0), rel=1e-9)
+
+    def test_correctness_unaffected(self, small_tree, small_alignment, small_model):
+        """Prefetching must not change likelihoods (it only moves reads)."""
+        rates = RateModel.gamma(0.8, 4)
+        e_ref = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                                 rates)
+        ref = e_ref.full_traversals(1)
+
+        shape = (small_alignment.num_patterns, 4, 4)
+        store = AncestralVectorStore(small_tree.num_inner, shape, num_slots=5,
+                                     policy="lru")
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               rates, store=store)
+        eng.full_traversals(1)   # populate
+        eng.invalidate_all()
+        plan = eng.plan(*eng.default_edge(), full=True)
+        Prefetcher(store, depth=2).run_schedule(eng.plan_accesses(plan))
+        assert eng.full_traversals(1) == ref

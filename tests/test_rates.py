@@ -1,0 +1,108 @@
+"""Unit tests for discrete Γ rate heterogeneity and the rate-model wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.phylo.models.rates import RateModel, discrete_gamma_rates
+
+
+class TestDiscreteGamma:
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 1.0, 2.0, 10.0])
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_mean_method_averages_to_one(self, alpha, k):
+        rates = discrete_gamma_rates(alpha, k, method="mean")
+        assert rates.mean() == pytest.approx(1.0, abs=1e-12)
+
+    def test_rates_are_increasing(self):
+        rates = discrete_gamma_rates(0.7, 4)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_small_alpha_is_more_heterogeneous(self):
+        spread_small = np.ptp(discrete_gamma_rates(0.2, 4))
+        spread_large = np.ptp(discrete_gamma_rates(5.0, 4))
+        assert spread_small > spread_large
+
+    def test_large_alpha_approaches_uniform(self):
+        rates = discrete_gamma_rates(500.0, 4)
+        np.testing.assert_allclose(rates, 1.0, atol=0.1)
+
+    def test_single_category_is_one(self):
+        np.testing.assert_allclose(discrete_gamma_rates(0.5, 1), [1.0])
+
+    def test_median_method_normalized(self):
+        rates = discrete_gamma_rates(0.7, 4, method="median")
+        assert rates.mean() == pytest.approx(1.0)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_mean_and_median_differ(self):
+        a = discrete_gamma_rates(0.5, 4, method="mean")
+        b = discrete_gamma_rates(0.5, 4, method="median")
+        assert not np.allclose(a, b)
+
+    def test_paper_setting_four_rates(self):
+        """The paper's Γ model with 4 discrete rates (§3.1)."""
+        rates = discrete_gamma_rates(1.0, 4)
+        assert rates.shape == (4,)
+        # Yang (1994) Table: alpha=1, K=4 mean rates ~ (0.137, 0.477, 1.000, 2.386)
+        np.testing.assert_allclose(rates, [0.1369, 0.4767, 1.0000, 2.3863], atol=5e-4)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ModelError, match="alpha"):
+            discrete_gamma_rates(0.0, 4)
+
+    def test_bad_category_count_rejected(self):
+        with pytest.raises(ModelError, match="category"):
+            discrete_gamma_rates(1.0, 0)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ModelError, match="unknown discretization"):
+            discrete_gamma_rates(1.0, 4, method="mode")
+
+
+class TestRateModel:
+    def test_uniform(self):
+        rm = RateModel.uniform()
+        assert rm.num_categories == 1
+        assert rm.mean_rate() == pytest.approx(1.0)
+        assert rm.alpha is None
+
+    def test_gamma_weights_equal(self):
+        rm = RateModel.gamma(0.8, 4)
+        np.testing.assert_allclose(rm.weights, 0.25)
+        assert rm.alpha == 0.8
+        assert rm.mean_rate() == pytest.approx(1.0)
+
+    def test_gamma_invariant_structure(self):
+        rm = RateModel.gamma_invariant(0.8, 0.2, 4)
+        assert rm.num_categories == 5
+        assert rm.rates[0] == 0.0
+        assert rm.weights[0] == pytest.approx(0.2)
+        assert rm.mean_rate() == pytest.approx(1.0)
+
+    def test_gamma_invariant_zero_pinv_is_plain_gamma(self):
+        a = RateModel.gamma_invariant(0.8, 0.0, 4)
+        b = RateModel.gamma(0.8, 4)
+        np.testing.assert_allclose(a.rates, b.rates)
+
+    def test_with_alpha_preserves_structure(self):
+        rm = RateModel.gamma_invariant(0.8, 0.1, 4).with_alpha(1.5)
+        assert rm.num_categories == 5
+        assert rm.alpha == 1.5
+        assert rm.p_invariant == 0.1
+
+    def test_bad_pinv_rejected(self):
+        with pytest.raises(ModelError, match="p_invariant"):
+            RateModel.gamma_invariant(0.8, 1.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ModelError, match="equal length"):
+            RateModel(np.ones(3), np.ones(4) / 4)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError, match="negative rate"):
+            RateModel(np.array([-0.1, 2.1]), np.array([0.5, 0.5]))
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ModelError, match="sum to 1"):
+            RateModel(np.ones(2), np.array([0.5, 0.6]))

@@ -1,0 +1,124 @@
+"""Tests for the lazy-SPR / NNI tree search."""
+
+import pytest
+
+from repro import GTR, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+from repro.errors import SearchError
+from repro.phylo.search import lazy_spr_round, ml_search, nni_round
+from repro.phylo.search.driver import SearchResult
+
+
+@pytest.fixture(scope="module")
+def easy_dataset():
+    """A strongly-informative dataset whose true topology is recoverable."""
+    tree = yule_tree(10, seed=70)
+    model = GTR((1, 2, 1, 1, 2, 1), (0.28, 0.22, 0.26, 0.24))
+    aln = simulate_alignment(tree, model, 1500, rates=RateModel.gamma(1.0, 4),
+                             seed=71)
+    return tree, aln, model
+
+
+def scrambled_engine(easy_dataset, seed=1, **kwargs):
+    tree, aln, model = easy_dataset
+    start = yule_tree(10, seed=seed + 900, names=tree.names)  # wrong topology
+    return LikelihoodEngine(start, aln, model, RateModel.gamma(1.0, 4), **kwargs)
+
+
+class TestLazySprRound:
+    def test_improves_from_random_start(self, easy_dataset):
+        eng = scrambled_engine(easy_dataset)
+        before = eng.loglikelihood()
+        result = lazy_spr_round(eng, radius=5)
+        assert result.lnl > before
+        assert result.moves_applied >= 1
+        assert result.moves_evaluated >= result.moves_applied
+        eng.tree.validate()
+
+    def test_rounds_converge_to_zero_moves(self, easy_dataset):
+        tree, aln, model = easy_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+        from repro.phylo.likelihood.branch_opt import smooth_all_branches
+        smooth_all_branches(eng, passes=2)
+        for _ in range(5):
+            result = lazy_spr_round(eng, radius=3, min_improvement=0.1)
+            if result.moves_applied == 0:
+                break
+            smooth_all_branches(eng)
+        assert result.moves_applied == 0  # a local optimum is reached
+
+    def test_rejected_moves_fully_rolled_back(self, easy_dataset):
+        tree, aln, model = easy_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+        from repro.phylo.likelihood.branch_opt import smooth_all_branches
+        smooth_all_branches(eng, passes=2)
+        ref = eng.tree.copy()
+        lazy_spr_round(eng, radius=3, min_improvement=10.0)  # nothing passes
+        assert eng.tree.robinson_foulds(ref) == 0
+        for u, v in ref.edges():
+            assert eng.tree.branch_length(u, v) == pytest.approx(
+                ref.branch_length(u, v), abs=1e-12
+            )
+
+    def test_bad_radius_rejected(self, easy_dataset):
+        with pytest.raises(SearchError, match="radius"):
+            lazy_spr_round(scrambled_engine(easy_dataset), radius=0)
+
+
+class TestNniRound:
+    def test_improves_or_stays(self, easy_dataset):
+        eng = scrambled_engine(easy_dataset, seed=2)
+        before = eng.loglikelihood()
+        result = nni_round(eng)
+        assert result.lnl >= before - 1e-9
+        eng.tree.validate()
+
+    def test_counts_consistent(self, easy_dataset):
+        eng = scrambled_engine(easy_dataset, seed=3)
+        result = nni_round(eng)
+        assert 0 <= result.moves_applied <= result.moves_evaluated
+
+
+class TestMlSearch:
+    def test_recovers_true_topology_region(self, easy_dataset):
+        """From a random start the search must reach (at least) the true
+        tree's likelihood; on finite data the ML tree can differ from the
+        generating tree by a split or two, so RF is bounded, not zero."""
+        tree, aln, model = easy_dataset
+        eng = scrambled_engine(easy_dataset, seed=4)
+        assert eng.tree.robinson_foulds(tree) > 0  # start is wrong
+        result = ml_search(eng, radius=6, max_rounds=6)
+        assert isinstance(result, SearchResult)
+        true_eng = LikelihoodEngine(tree.copy(), aln, model, RateModel.gamma(1.0, 4))
+        from repro.phylo.likelihood.branch_opt import smooth_all_branches
+        true_lnl = smooth_all_branches(true_eng, passes=3)
+        assert result.lnl >= true_lnl - 0.5
+        assert eng.tree.robinson_foulds(tree) <= 4
+        assert result.lnl == result.lnl_history[-1]
+
+    def test_history_monotone(self, easy_dataset):
+        eng = scrambled_engine(easy_dataset, seed=5)
+        result = ml_search(eng, radius=4, max_rounds=4)
+        diffs = [b - a for a, b in zip(result.lnl_history, result.lnl_history[1:])]
+        assert all(d >= -1e-6 for d in diffs)
+
+    def test_search_beats_start_by_large_margin(self, easy_dataset):
+        eng = scrambled_engine(easy_dataset, seed=6)
+        start_lnl = eng.loglikelihood()
+        result = ml_search(eng, radius=5, max_rounds=5)
+        assert result.lnl > start_lnl + 10.0
+
+    def test_max_rounds_validated(self, easy_dataset):
+        with pytest.raises(SearchError, match="max_rounds"):
+            ml_search(scrambled_engine(easy_dataset), max_rounds=0)
+
+    def test_search_out_of_core_identical_result(self, easy_dataset):
+        """End-to-end: the full search run is unaffected by the OOC layer."""
+        tree, aln, model = easy_dataset
+        e_std = scrambled_engine(easy_dataset, seed=7)
+        e_ooc = scrambled_engine(easy_dataset, seed=7, fraction=0.25,
+                                 policy="lru", poison_skipped_reads=True)
+        r_std = ml_search(e_std, radius=4, max_rounds=3)
+        r_ooc = ml_search(e_ooc, radius=4, max_rounds=3)
+        assert r_std.lnl == r_ooc.lnl
+        assert e_std.tree.robinson_foulds(e_ooc.tree) == 0
+        assert e_ooc.stats.miss_rate > 0

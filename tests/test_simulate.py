@@ -1,0 +1,120 @@
+"""Tests for the random-tree generators and the sequence evolver."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, HKY85, JC69, Poisson, simulate_alignment
+from repro.errors import SimulationError
+from repro.phylo.models.rates import RateModel
+from repro.simulate import coalescent_tree, yule_tree
+
+
+class TestTreeGenerators:
+    @pytest.mark.parametrize("gen", [yule_tree, coalescent_tree])
+    def test_valid_trees(self, gen):
+        for n in (3, 4, 10, 50):
+            t = gen(n, seed=n)
+            t.validate()
+            assert t.num_tips == n
+
+    def test_deterministic(self):
+        assert yule_tree(20, seed=4).robinson_foulds(yule_tree(20, seed=4)) == 0
+
+    def test_different_seeds_differ(self):
+        assert yule_tree(20, seed=4).robinson_foulds(yule_tree(20, seed=5)) > 0
+
+    def test_ultrametric_shape(self):
+        """Backward-merging trees are ultrametric: all tips equidistant
+        from any fixed inner node through the 'root-most' join."""
+        t = yule_tree(12, seed=6)
+        # The last inner node created is the unrooted root surrogate.
+        root = t.num_nodes - 1
+        depths = [t.patristic_distance(root, tip) for tip in range(12)]
+        assert max(depths) - min(depths) < 1e-9
+
+    def test_scale_controls_height(self):
+        short = yule_tree(10, seed=7, scale=0.01).total_branch_length()
+        tall = yule_tree(10, seed=7, scale=1.0).total_branch_length()
+        assert tall == pytest.approx(100 * short)
+
+    def test_custom_names(self):
+        t = coalescent_tree(4, seed=8, names=["w", "x", "y", "z"])
+        assert t.names == ["w", "x", "y", "z"]
+
+    def test_too_few_tips_rejected(self):
+        with pytest.raises(SimulationError, match="at least 3"):
+            yule_tree(2)
+
+    def test_bad_birth_rate_rejected(self):
+        with pytest.raises(SimulationError, match="birth rate"):
+            yule_tree(5, birth_rate=0.0)
+
+    def test_large_tree_fast_and_valid(self):
+        t = coalescent_tree(4096, seed=9)
+        t.validate()
+        assert t.num_inner == 4094
+
+
+class TestSequenceSimulation:
+    def test_shape_and_names(self, small_tree):
+        aln = simulate_alignment(small_tree, JC69(), 123, seed=1)
+        assert aln.num_taxa == small_tree.num_tips
+        assert aln.num_sites == 123
+        assert aln.names == small_tree.names
+
+    def test_deterministic(self, small_tree):
+        a = simulate_alignment(small_tree, GTR(), 50, seed=2)
+        b = simulate_alignment(small_tree, GTR(), 50, seed=2)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_stationary_frequencies_respected(self):
+        tree = yule_tree(30, seed=10, scale=0.02)
+        freqs = (0.4, 0.3, 0.2, 0.1)
+        aln = simulate_alignment(tree, HKY85(2.0, freqs), 4000, seed=11)
+        np.testing.assert_allclose(aln.empirical_frequencies(), freqs, atol=0.03)
+
+    def test_short_branches_conserved(self):
+        tree = yule_tree(6, seed=12, scale=1e-5)
+        aln = simulate_alignment(tree, JC69(), 300, seed=13)
+        # Essentially no substitutions: all rows identical.
+        assert aln.num_patterns <= 5
+
+    def test_long_branches_saturate(self):
+        tree = yule_tree(6, seed=14, scale=5.0)
+        aln = simulate_alignment(tree, JC69(), 500, seed=15)
+        from repro.nj.distances import p_distances
+        D = p_distances(aln)
+        off = D[np.triu_indices(6, 1)]
+        assert off.mean() > 0.5  # near the 0.75 saturation plateau
+
+    def test_gamma_rates_leave_invariant_sites(self):
+        """Small α concentrates rates near zero: many constant columns."""
+        tree = yule_tree(10, seed=16, scale=0.3)
+        hot = simulate_alignment(tree, JC69(), 1000,
+                                 rates=RateModel.gamma(0.05, 4), seed=17)
+        flat = simulate_alignment(tree, JC69(), 1000,
+                                  rates=RateModel.gamma(50.0, 4), seed=17)
+        assert hot.num_patterns < flat.num_patterns
+
+    def test_protein_simulation(self, small_tree):
+        aln = simulate_alignment(small_tree, Poisson(), 60, seed=18)
+        assert aln.alphabet.num_states == 20
+
+    def test_likelihood_roundtrip_sanity(self):
+        """The generating model should fit simulated data better than a
+        clearly wrong model (basic identifiability check)."""
+        from repro import LikelihoodEngine
+        tree = yule_tree(8, seed=19)
+        truth = HKY85(6.0, (0.4, 0.1, 0.1, 0.4))
+        aln = simulate_alignment(tree, truth, 2000, seed=20)
+        l_true = LikelihoodEngine(tree.copy(), aln, truth).loglikelihood()
+        l_wrong = LikelihoodEngine(tree.copy(), aln, JC69()).loglikelihood()
+        assert l_true > l_wrong
+
+    def test_errors(self, small_tree):
+        with pytest.raises(SimulationError, match="at least one site"):
+            simulate_alignment(small_tree, JC69(), 0)
+        with pytest.raises(SimulationError, match="no default alphabet"):
+            from repro.phylo.models.base import ReversibleModel
+            R = np.ones((3, 3)); np.fill_diagonal(R, 0)
+            simulate_alignment(small_tree, ReversibleModel(R, np.ones(3) / 3), 10)

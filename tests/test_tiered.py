@@ -1,0 +1,92 @@
+"""Tests for the three-layer accelerator/RAM/disk store (§5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, LikelihoodEngine, RateModel
+from repro.core.backing import MemoryBackingStore
+from repro.core.tiered import TieredVectorStore
+from repro.errors import OutOfCoreError
+
+SHAPE = (3, 2, 4)
+
+
+class TestConstruction:
+    def test_device_must_be_smaller(self):
+        with pytest.raises(OutOfCoreError, match="smaller"):
+            TieredVectorStore(10, SHAPE, device_slots=6, host_slots=6)
+
+    def test_levels_have_own_stats(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=6)
+        assert ts.device_stats is not ts.host_stats
+
+
+class TestDataPath:
+    def test_roundtrip_through_both_tiers(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        for i in range(10):
+            ts.get(i, write_only=True)[:] = float(i)
+        for i in range(10):
+            np.testing.assert_array_equal(ts.get(i), float(i))
+
+    def test_device_miss_promotes_through_host(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        ts.get(0, write_only=True)[:] = 1.0
+        for i in range(1, 4):  # push 0 out of the device tier
+            ts.get(i, write_only=True)[:] = 0.0
+        before_up = ts.link.transfers_up
+        np.testing.assert_array_equal(ts.get(0), 1.0)
+        assert ts.link.transfers_up == before_up + 1
+
+    def test_device_hit_does_not_touch_host(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        ts.get(0, write_only=True)
+        host_requests = ts.host_stats.requests
+        ts.get(0)
+        assert ts.host_stats.requests == host_requests
+
+    def test_flush_reaches_backing(self):
+        backing = MemoryBackingStore(10, SHAPE)
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5,
+                               backing=backing)
+        ts.get(2, write_only=True)[:] = 9.0
+        ts.flush()
+        out = np.empty(SHAPE)
+        backing.read(2, out)
+        np.testing.assert_array_equal(out, 9.0)
+
+    def test_byte_accounting(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        for i in range(10):
+            ts.get(i, write_only=True)
+        item_bytes = int(np.prod(SHAPE)) * 8
+        assert ts.link.bytes_moved == \
+            (ts.link.transfers_up + ts.link.transfers_down) * item_bytes
+
+
+class TestEngineIntegration:
+    def test_likelihood_identical_through_tiers(self, small_tree,
+                                                small_alignment, small_model):
+        rates = RateModel.gamma(0.8, 4)
+        ref = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               rates).loglikelihood()
+        shape = (small_alignment.num_patterns, 4, 4)
+        ts = TieredVectorStore(small_tree.num_inner, shape,
+                               device_slots=3, host_slots=5)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               rates, store=ts)
+        assert eng.loglikelihood() == ref
+        assert ts.device_stats.misses > 0
+
+    def test_pcie_rate_lower_than_disk_rate_shape(self, small_tree,
+                                                  small_alignment, small_model):
+        """The middle tier absorbs traffic: host-level misses (disk I/O) are
+        no more frequent than device-level misses (PCIe transfers)."""
+        rates = RateModel.gamma(0.8, 4)
+        shape = (small_alignment.num_patterns, 4, 4)
+        ts = TieredVectorStore(small_tree.num_inner, shape,
+                               device_slots=3, host_slots=6)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               rates, store=ts)
+        eng.full_traversals(3)
+        assert ts.host_stats.misses <= ts.device_stats.misses

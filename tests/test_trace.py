@@ -1,0 +1,131 @@
+"""Unit tests for access-trace recording, replay and locality analysis."""
+
+import numpy as np
+import pytest
+
+from repro import GTR, LikelihoodEngine
+from repro.core.trace import (
+    AccessTrace,
+    RecordingStoreProxy,
+    lru_miss_curve,
+    reuse_distance_profile,
+    simulate_policy_on_trace,
+)
+from repro.core.vecstore import AncestralVectorStore
+from repro.errors import OutOfCoreError, PinnedSlotError
+
+SHAPE = (3,)
+
+
+def make_trace(items, writes=None):
+    t = AccessTrace(num_items=max(items) + 1)
+    for i, item in enumerate(items):
+        w = writes[i] if writes else False
+        t.record(item, write_only=w)
+    return t
+
+
+class TestRecording:
+    def test_proxy_forwards_and_records(self):
+        base = AncestralVectorStore(6, SHAPE, num_slots=3, policy="lru")
+        proxy = RecordingStoreProxy(base)
+        v = proxy.get(2, pins=(1,), write_only=True)
+        assert v.shape == SHAPE
+        assert len(proxy.trace) == 1
+        ev = proxy.trace.events[0]
+        assert (ev.item, ev.pins, ev.write_only) == (2, (1,), True)
+
+    def test_proxy_exposes_store_attributes(self):
+        base = AncestralVectorStore(6, SHAPE, num_slots=3)
+        proxy = RecordingStoreProxy(base)
+        assert proxy.num_items == 6
+        assert proxy.stats is base.stats
+
+    def test_trace_helpers(self):
+        t = make_trace([0, 1, 0, 2])
+        assert t.items() == [0, 1, 0, 2]
+        assert t.unique_items() == {0, 1, 2}
+
+
+class TestReplayFidelity:
+    @pytest.mark.parametrize("policy", ["lru", "lfu", "fifo"])
+    def test_replay_matches_live_store(self, policy, rng):
+        """Replay must reproduce the live store's miss/read/write counts."""
+        n, m = 15, 4
+        live = AncestralVectorStore(n, SHAPE, num_slots=m, policy=policy)
+        proxy = RecordingStoreProxy(live)
+        for _ in range(500):
+            item = int(rng.integers(n))
+            pins = tuple(int(x) for x in rng.choice(n, 2, replace=False)
+                         if int(x) != item)
+            try:
+                proxy.get(item, pins=pins, write_only=bool(rng.random() < 0.3))
+            except PinnedSlotError:
+                pass
+        replayed = simulate_policy_on_trace(proxy.trace, m, policy)
+        assert replayed.misses == live.stats.misses
+        assert replayed.reads == live.stats.reads
+        assert replayed.writes == live.stats.writes
+        assert replayed.read_skips == live.stats.read_skips
+
+    def test_replay_matches_live_engine_workload(self, small_tree,
+                                                 small_alignment, small_model):
+        base = AncestralVectorStore(small_tree.num_inner,
+                                    (small_alignment.num_patterns, 4, 4),
+                                    num_slots=4, policy="lru")
+        proxy = RecordingStoreProxy(base)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               store=proxy)
+        eng.full_traversals(2)
+        replayed = simulate_policy_on_trace(proxy.trace, 4, "lru")
+        assert replayed.misses == base.stats.misses
+        assert replayed.miss_rate == base.stats.miss_rate
+
+    def test_read_skipping_toggle(self):
+        t = make_trace([0, 1, 2, 3], writes=[True, True, False, True])
+        with_skip = simulate_policy_on_trace(t, 2, "lru", read_skipping=True)
+        without = simulate_policy_on_trace(t, 2, "lru", read_skipping=False)
+        assert with_skip.reads == 1
+        assert without.reads == 4
+        assert with_skip.misses == without.misses == 4
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(OutOfCoreError, match="at least one slot"):
+            simulate_policy_on_trace(make_trace([0]), 0, "lru")
+
+    def test_fully_pinned_replay_raises(self):
+        t = AccessTrace(num_items=4)
+        t.record(0)
+        t.record(1)
+        t.record(2, pins=(0, 1))
+        with pytest.raises(PinnedSlotError):
+            simulate_policy_on_trace(t, 2, "lru")
+
+
+class TestReuseDistances:
+    def test_first_touches_are_minus_one(self):
+        assert reuse_distance_profile(make_trace([0, 1, 2])) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distance_profile(make_trace([0, 0])) == [-1, 0]
+
+    def test_interleaved(self):
+        # 0 1 2 0: distance of the second 0 is 2 (two distinct items between)
+        assert reuse_distance_profile(make_trace([0, 1, 2, 0]))[-1] == 2
+
+    def test_lru_miss_curve_matches_replay(self, rng):
+        items = [int(rng.integers(12)) for _ in range(400)]
+        trace = make_trace(items)
+        curve = lru_miss_curve(trace, [2, 4, 8])
+        for m, predicted in curve.items():
+            actual = simulate_policy_on_trace(trace, m, "lru").miss_rate
+            assert predicted == pytest.approx(actual)
+
+    def test_curve_monotone_in_capacity(self, rng):
+        items = [int(rng.integers(20)) for _ in range(500)]
+        curve = lru_miss_curve(make_trace(items), [2, 5, 10, 20])
+        vals = [curve[m] for m in (2, 5, 10, 20)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_empty_trace(self):
+        assert lru_miss_curve(AccessTrace(1), [3]) == {3: 0.0}

@@ -1,0 +1,276 @@
+"""Unit tests for the unrooted binary tree structure and its edits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.phylo.tree import Tree
+from repro.simulate import yule_tree
+
+
+class TestBasics:
+    def test_star3(self):
+        t = Tree.star3(["x", "y", "z"])
+        t.validate()
+        assert t.num_tips == 3
+        assert t.num_inner == 1
+        assert t.num_edges == 3
+        assert all(t.degree(i) == 1 for i in range(3))
+        assert t.degree(3) == 3
+
+    def test_random_topology_valid(self):
+        for n in (3, 4, 5, 10, 37):
+            t = Tree.random_topology(n, seed=n)
+            t.validate()
+            assert t.num_edges == 2 * n - 3
+
+    def test_random_topology_deterministic(self):
+        a = Tree.random_topology(12, seed=5)
+        b = Tree.random_topology(12, seed=5)
+        assert a.robinson_foulds(b) == 0
+
+    def test_random_topologies_differ_across_seeds(self):
+        a = Tree.random_topology(12, seed=5)
+        b = Tree.random_topology(12, seed=6)
+        assert a.robinson_foulds(b) > 0
+
+    def test_too_few_tips(self):
+        with pytest.raises(TreeError, match="at least 2"):
+            Tree(1)
+
+    def test_name_count_checked(self):
+        with pytest.raises(TreeError, match="names for"):
+            Tree(3, ["only", "two"])
+
+    def test_copy_is_independent(self):
+        t = Tree.random_topology(6, seed=1)
+        c = t.copy()
+        e = next(iter(t.edges()))
+        c.set_branch_length(*e, 9.9)
+        assert t.branch_length(*e) != 9.9
+
+
+class TestEdges:
+    def test_branch_length_roundtrip(self):
+        t = Tree.star3()
+        t.set_branch_length(0, 3, 0.77)
+        assert t.branch_length(0, 3) == 0.77
+        assert t.branch_length(3, 0) == 0.77  # order-insensitive
+
+    def test_missing_edge_raises(self):
+        t = Tree.star3()
+        with pytest.raises(TreeError, match="does not exist"):
+            t.branch_length(0, 1)
+        with pytest.raises(TreeError, match="does not exist"):
+            t.set_branch_length(0, 1, 0.5)
+
+    def test_negative_length_rejected(self):
+        t = Tree.star3()
+        with pytest.raises(TreeError, match="negative branch length"):
+            t.set_branch_length(0, 3, -0.1)
+
+    def test_internal_edges(self):
+        t = Tree.random_topology(6, seed=2)
+        internal = t.internal_edges()
+        assert len(internal) == 6 - 3  # n-3 internal edges
+        for u, v in internal:
+            assert not t.is_tip(u) and not t.is_tip(v)
+
+
+class TestTraversal:
+    def test_postorder_covers_all_inner_nodes(self):
+        t = Tree.random_topology(15, seed=3)
+        triples = t.postorder_edge(0, t.neighbors(0)[0])
+        assert len(triples) == t.num_inner
+        assert {x for x, _, _ in triples} == set(t.inner_nodes())
+
+    def test_children_precede_parents(self):
+        t = Tree.random_topology(15, seed=3)
+        triples = t.postorder_edge(0, t.neighbors(0)[0])
+        seen = set(range(t.num_tips))
+        for node, left, right in triples:
+            assert left in seen and right in seen
+            seen.add(node)
+
+    def test_deep_tree_no_recursion_limit(self):
+        # A caterpillar-ish random tree with 5000 tips exercises the
+        # iterative DFS (paper trees have 8192 taxa).
+        t = Tree.random_topology(5000, seed=4)
+        triples = t.postorder_edge(0, t.neighbors(0)[0])
+        assert len(triples) == 4998
+
+    def test_subtree_nodes_and_tips(self):
+        t = Tree.star3()
+        assert set(t.subtree_nodes(3, 0)) == {3, 1, 2}
+        assert set(t.subtree_tips(3, 0)) == {1, 2}
+
+
+class TestDistances:
+    def test_hop_distances(self):
+        t = Tree.star3()
+        d = t.hop_distances_from(0)
+        assert d[0] == 0 and d[3] == 1 and d[1] == 2 and d[2] == 2
+
+    def test_path_endpoints(self):
+        t = Tree.random_topology(10, seed=5)
+        p = t.path(0, 7)
+        assert p[0] == 0 and p[-1] == 7
+        for a, b in zip(p, p[1:]):
+            assert t.has_edge(a, b)
+
+    def test_patristic_matches_path_sum(self):
+        t = yule_tree(8, seed=6)
+        p = t.path(2, 5)
+        total = sum(t.branch_length(a, b) for a, b in zip(p, p[1:]))
+        assert t.patristic_distance(2, 5) == pytest.approx(total)
+
+
+class TestTipInsertion:
+    def test_insert_then_remove_restores(self):
+        t = Tree(4)
+        inner0 = 4
+        for tip in range(3):
+            t._connect(tip, inner0, 0.1)
+        edge = (0, inner0)
+        before = t.branch_length(*edge)
+        t.insert_tip(3, edge)
+        t.validate()
+        t.remove_tip(3)
+        assert t.branch_length(*edge) == pytest.approx(before)
+
+    def test_insert_attached_tip_rejected(self):
+        t = Tree.star3()
+        with pytest.raises(TreeError, match="already attached"):
+            t.insert_tip(0, (1, 3))
+
+    def test_remove_unattached_rejected(self):
+        t = Tree(4)
+        with pytest.raises(TreeError, match="not an attached tip"):
+            t.remove_tip(3)
+
+
+class TestSpr:
+    def test_spr_keeps_tree_valid(self):
+        t = Tree.random_topology(12, seed=7)
+        p = next(iter(t.inner_nodes()))
+        s = t.neighbors(p)[0]
+        targets = t.spr_candidates(p, s)
+        assert targets
+        t.spr_move(p, s, targets[0])
+        t.validate()
+
+    def test_spr_undo_restores_topology_and_lengths(self):
+        t = Tree.random_topology(12, seed=8)
+        ref = t.copy()
+        p = list(t.inner_nodes())[3]
+        s = t.neighbors(p)[1]
+        targets = t.spr_candidates(p, s)
+        undo = t.spr_move(p, s, targets[-1])
+        assert t.robinson_foulds(ref) > 0
+        t.undo_spr(undo)
+        assert t.robinson_foulds(ref) == 0
+        for u, v in ref.edges():
+            assert t.branch_length(u, v) == pytest.approx(ref.branch_length(u, v))
+
+    def test_target_inside_subtree_rejected(self):
+        t = Tree.random_topology(10, seed=9)
+        p = list(t.inner_nodes())[0]
+        s = t.neighbors(p)[0]
+        sub = t.subtree_nodes(s, p)
+        inside = [(u, v) for u, v in t.edges() if u in sub and v in sub]
+        if inside:
+            with pytest.raises(TreeError, match="inside the pruned subtree"):
+                t.spr_move(p, s, inside[0])
+
+    def test_tip_prune_point_rejected(self):
+        t = Tree.random_topology(6, seed=10)
+        with pytest.raises(TreeError, match="must be an inner node"):
+            t.spr_move(0, t.neighbors(0)[0], (1, 2))
+
+    def test_radius_limits_candidates(self):
+        t = Tree.random_topology(30, seed=11)
+        p = list(t.inner_nodes())[5]
+        s = t.neighbors(p)[0]
+        near = t.spr_candidates(p, s, radius=1)
+        far = t.spr_candidates(p, s, radius=8)
+        assert len(near) <= len(far)
+        assert set(near) <= set(far)
+
+    def test_candidates_exclude_closed_edge(self):
+        t = Tree.random_topology(10, seed=12)
+        p = list(t.inner_nodes())[0]
+        s = t.neighbors(p)[0]
+        a, b = [x for x in t.neighbors(p) if x != s]
+        key = (min(a, b), max(a, b))
+        assert key not in t.spr_candidates(p, s)
+
+
+class TestNni:
+    def test_both_variants_change_topology(self):
+        t = Tree.random_topology(10, seed=13)
+        edge = t.internal_edges()[0]
+        for variant in (0, 1):
+            c = t.copy()
+            c.nni(edge, variant)
+            c.validate()
+            assert c.robinson_foulds(t) == 2  # one split replaced
+
+    def test_undo_restores(self):
+        t = Tree.random_topology(10, seed=14)
+        ref = t.copy()
+        edge = t.internal_edges()[1]
+        undo = t.nni(edge, 1)
+        t.undo_nni(undo)
+        assert t.robinson_foulds(ref) == 0
+
+    def test_tip_edge_rejected(self):
+        t = Tree.star3()
+        with pytest.raises(TreeError, match="must be internal"):
+            t.nni((0, 3), 0)
+
+    def test_bad_variant_rejected(self):
+        t = Tree.random_topology(6, seed=15)
+        with pytest.raises(TreeError, match="variant"):
+            t.nni(t.internal_edges()[0], 2)
+
+
+class TestComparison:
+    def test_rf_zero_for_identical(self):
+        t = Tree.random_topology(10, seed=16)
+        assert t.robinson_foulds(t.copy()) == 0
+
+    def test_rf_positive_after_spr(self):
+        t = Tree.random_topology(12, seed=17)
+        c = t.copy()
+        p = list(c.inner_nodes())[2]
+        s = c.neighbors(p)[0]
+        far = c.spr_candidates(p, s, radius=10)
+        c.spr_move(p, s, far[-1])
+        assert t.robinson_foulds(c) > 0
+
+    def test_rf_different_sizes_rejected(self):
+        with pytest.raises(TreeError, match="different tip counts"):
+            Tree.random_topology(5, seed=1).robinson_foulds(
+                Tree.random_topology(6, seed=1)
+            )
+
+    def test_total_branch_length(self):
+        t = Tree.star3()
+        assert t.total_branch_length() == pytest.approx(0.3)
+
+
+class TestValidate:
+    def test_detects_bad_length(self):
+        t = Tree.star3()
+        t._lengths[(0, 3)] = np.nan
+        with pytest.raises(TreeError, match="bad branch length"):
+            t.validate()
+
+    def test_detects_disconnection(self):
+        t = Tree(4)
+        t._connect(0, 4, 0.1)
+        t._connect(1, 4, 0.1)
+        t._connect(2, 4, 0.1)
+        t._connect(3, 5, 0.1)  # 5 dangles with degree 1
+        with pytest.raises(TreeError):
+            t.validate()

@@ -1,0 +1,135 @@
+"""Tests for tree-distance metrics and alignment diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import Alignment, GTR, simulate_alignment, yule_tree
+from repro.errors import TreeError
+from repro.phylo.msa_stats import (
+    composition_chi2_test,
+    gap_fraction,
+    mean_pairwise_identity,
+    per_taxon_composition,
+    proportion_invariant_sites,
+    summarize,
+)
+from repro.phylo.newick import parse_newick, write_newick
+from repro.phylo.treedist import (
+    branch_score_distance,
+    normalized_rf,
+    path_difference_distance,
+    path_distance_matrix,
+)
+
+
+class TestBranchScore:
+    def test_zero_for_identical(self):
+        t = yule_tree(10, seed=41)
+        assert branch_score_distance(t, t.copy()) == 0.0
+
+    def test_positive_for_length_change(self):
+        t = yule_tree(10, seed=42)
+        c = t.copy()
+        edge = c.internal_edges()[0]
+        c.set_branch_length(*edge, c.branch_length(*edge) + 0.5)
+        assert branch_score_distance(t, c) == pytest.approx(0.5)
+
+    def test_positive_for_topology_change(self):
+        t = yule_tree(10, seed=43)
+        c = t.copy()
+        c.nni(c.internal_edges()[0], 0)
+        assert branch_score_distance(t, c) > 0
+
+    def test_symmetric(self):
+        a = yule_tree(8, seed=44)
+        b = yule_tree(8, seed=45)
+        assert branch_score_distance(a, b) == \
+            pytest.approx(branch_score_distance(b, a))
+
+    def test_name_matching(self):
+        t = yule_tree(8, seed=46)
+        permuted = parse_newick(write_newick(t, precision=17))
+        assert branch_score_distance(t, permuted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_taxon_mismatch_rejected(self):
+        a = yule_tree(5, seed=1)
+        b = yule_tree(5, seed=1, names=[f"q{i}" for i in range(5)])
+        with pytest.raises(TreeError, match="taxon set"):
+            branch_score_distance(a, b)
+
+
+class TestPathDistances:
+    def test_matrix_matches_patristic(self):
+        t = yule_tree(7, seed=47)
+        D = path_distance_matrix(t)
+        for i in range(7):
+            for j in range(7):
+                assert D[i, j] == pytest.approx(t.patristic_distance(i, j))
+
+    def test_hop_variant(self):
+        t = yule_tree(6, seed=48)
+        D = path_distance_matrix(t, weighted=False)
+        assert D[0, 0] == 0
+        assert np.all(D[np.triu_indices(6, 1)] >= 2)  # via >= 1 inner node
+
+    def test_path_difference_zero_for_identical(self):
+        t = yule_tree(9, seed=49)
+        assert path_difference_distance(t, t.copy()) == 0.0
+
+    def test_path_difference_positive_for_different(self):
+        a = yule_tree(9, seed=50)
+        b = yule_tree(9, seed=51)
+        assert path_difference_distance(a, b) > 0
+
+    def test_normalized_rf_bounds(self):
+        a = yule_tree(12, seed=52)
+        b = yule_tree(12, seed=53)
+        assert 0.0 <= normalized_rf(a, b) <= 1.0
+        assert normalized_rf(a, a.copy()) == 0.0
+
+
+class TestMsaStats:
+    def test_gap_fraction(self):
+        aln = Alignment.from_sequences([("a", "AC-T"), ("b", "A--T")])
+        assert gap_fraction(aln) == pytest.approx(3 / 8)
+
+    def test_invariant_proportion(self):
+        aln = Alignment.from_sequences([("a", "AACG"), ("b", "AATG")])
+        # cols 0,1,3 invariant; col 2 differs
+        assert proportion_invariant_sites(aln) == pytest.approx(0.75)
+
+    def test_ambiguity_counts_as_compatible(self):
+        aln = Alignment.from_sequences([("a", "R"), ("b", "A")])
+        assert proportion_invariant_sites(aln) == 1.0
+
+    def test_identity_identical_rows(self):
+        aln = Alignment.from_sequences([("a", "ACGT"), ("b", "ACGT")])
+        assert mean_pairwise_identity(aln) == 1.0
+
+    def test_per_taxon_composition_rows_sum_one(self, small_alignment):
+        comp = per_taxon_composition(small_alignment)
+        np.testing.assert_allclose(comp.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_composition_test_homogeneous_data(self):
+        tree = yule_tree(10, seed=54, scale=0.05)
+        aln = simulate_alignment(tree, GTR(), 2000, seed=55)
+        result = composition_chi2_test(aln)
+        assert result.homogeneous
+        assert result.degrees_of_freedom == 9 * 3
+
+    def test_composition_test_detects_heterogeneity(self):
+        rng = np.random.default_rng(56)
+        n, s = 6, 2000
+        codes = np.empty((n, s), dtype=np.uint8)
+        # half the taxa GC-rich, half AT-rich: grossly heterogeneous
+        for i in range(n):
+            probs = [0.05, 0.45, 0.45, 0.05] if i < 3 else [0.45, 0.05, 0.05, 0.45]
+            codes[i] = np.left_shift(1, rng.choice(4, size=s, p=probs))
+        from repro import DNA
+        aln = Alignment([f"t{i}" for i in range(n)], codes, DNA)
+        assert not composition_chi2_test(aln).homogeneous
+
+    def test_summarize(self, small_alignment):
+        summary = summarize(small_alignment)
+        assert summary.num_taxa == small_alignment.num_taxa
+        assert "taxa" in str(summary)

@@ -1,0 +1,225 @@
+"""Unit tests for the OS-paging simulator (disk model, page cache, arena)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfCoreError, ReproError
+from repro.vm.disk import DiskModel
+from repro.vm.pagecache import PageCache
+from repro.vm.pagedarena import PagedArena
+from repro.vm.standardstore import PagedStandardStore
+
+
+class TestDiskModel:
+    def test_sequential_transfer_time(self):
+        d = DiskModel(access_latency=0.01, bandwidth=1e6)
+        assert d.transfer_time(1e6) == pytest.approx(0.01 + 1.0)
+
+    def test_random_pays_latency_per_page(self):
+        d = DiskModel(access_latency=0.01, bandwidth=1e9)
+        t = d.transfer_time(8192, sequential=False)
+        assert t == pytest.approx(2 * (0.01 + 4096 / 1e9))
+
+    def test_page_fault_time(self):
+        d = DiskModel.hdd()
+        assert d.page_fault_time() == pytest.approx(8e-3 + 4096 / 100e6)
+
+    def test_sequential_amortizes_better_than_random(self):
+        """The paper's §3.1 block-amortization argument, quantified."""
+        d = DiskModel.hdd()
+        nbytes = 1_280_000  # the paper's example vector
+        assert d.transfer_time(nbytes, True) < d.transfer_time(nbytes, False) / 10
+
+    def test_presets(self):
+        assert DiskModel.ssd().access_latency < DiskModel.hdd().access_latency
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError, match="bad disk model"):
+            DiskModel(access_latency=-1, bandwidth=1e6)
+        with pytest.raises(ReproError, match="bad disk model"):
+            DiskModel(access_latency=0.01, bandwidth=0)
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ReproError, match="negative"):
+            DiskModel.hdd().transfer_time(-1)
+
+
+class TestPageCache:
+    def test_cold_faults_then_hits(self):
+        pc = PageCache(capacity_bytes=10 * 4096)
+        assert pc.touch_range(0, 4096 * 3) == 3
+        assert pc.touch_range(0, 4096 * 3) == 0
+        assert pc.faults == 3
+
+    def test_lru_eviction_order(self):
+        pc = PageCache(capacity_bytes=2 * 4096)
+        pc.touch_range(0, 4096)        # page 0
+        pc.touch_range(4096, 4096)     # page 1
+        pc.touch_range(0, 1)           # refresh page 0
+        pc.touch_range(2 * 4096, 4096)  # page 2 -> evicts page 1
+        assert pc.touch_range(0, 1) == 0        # page 0 kept
+        assert pc.touch_range(4096, 1) == 1     # page 1 was evicted
+
+    def test_demand_zero_faults_are_free(self):
+        """First touches of anonymous pages must not cost disk time."""
+        disk = DiskModel(access_latency=1.0, bandwidth=1e12)
+        pc = PageCache(capacity_bytes=64 * 4096, disk=disk)
+        pc.touch_range(0, 32 * 4096, write=True)
+        assert pc.faults == 32
+        assert pc.major_faults == 0
+        assert pc.simulated_seconds == 0.0
+
+    def test_dirty_pages_charged_writeback(self):
+        disk = DiskModel(access_latency=1.0, bandwidth=1e12)
+        pc = PageCache(capacity_bytes=2 * 4096, disk=disk, readahead_pages=1)
+        pc.touch_range(0, 2 * 4096, write=True)   # demand-zero, free
+        before = pc.simulated_seconds
+        pc.touch_range(2 * 4096, 2 * 4096)        # evicts 2 dirty pages
+        extra = pc.simulated_seconds - before
+        assert pc.writebacks == 2
+        # 2 swap-out writes at ~1s latency each; the new pages are
+        # demand-zero and free.
+        assert extra == pytest.approx(2.0, rel=1e-3)
+
+    def test_major_faults_charged_on_swapin(self):
+        disk = DiskModel(access_latency=1.0, bandwidth=1e12)
+        pc = PageCache(capacity_bytes=2 * 4096, disk=disk, readahead_pages=1)
+        pc.touch_range(0, 2 * 4096, write=True)
+        pc.touch_range(2 * 4096, 2 * 4096)        # pages 0,1 -> swap
+        before = pc.simulated_seconds
+        pc.touch_range(0, 2 * 4096)               # swap pages 0,1 back in
+        assert pc.major_faults == 2
+        assert pc.simulated_seconds - before == pytest.approx(2.0, rel=1e-3)
+
+    def test_clean_evictions_free(self):
+        disk = DiskModel(access_latency=1.0, bandwidth=1e12)
+        pc = PageCache(capacity_bytes=2 * 4096, disk=disk, readahead_pages=1)
+        pc.touch_range(0, 2 * 4096, write=False)
+        pc.touch_range(2 * 4096, 2 * 4096, write=False)
+        assert pc.writebacks == 0
+
+    def test_readahead_clusters_swap_traffic(self):
+        fast = DiskModel(access_latency=1.0, bandwidth=1e12)
+
+        def swap_cycle(readahead):
+            pc = PageCache(16 * 4096, disk=fast, readahead_pages=readahead)
+            pc.touch_range(0, 32 * 4096, write=True)  # dirty-evicts 0..15
+            writeback_time = pc.simulated_seconds
+            pc.reset_counters()
+            pc.touch_range(0, 16 * 4096)              # swap 0..15 back in
+            assert pc.major_faults == 16
+            return writeback_time, pc.simulated_seconds
+
+        wb8, rd8 = swap_cycle(8)
+        wb1, rd1 = swap_cycle(1)
+        # Swap-out: 16 dirty pages in clusters of 8 -> 2 ops (16 unclustered).
+        assert wb8 == pytest.approx(2.0, rel=1e-3)
+        assert wb1 == pytest.approx(16.0, rel=1e-3)
+        # Swap-in pass: 16 major faults PLUS 16 dirty evictions of the
+        # current residents -> 4 clustered ops (32 unclustered).
+        assert rd8 == pytest.approx(4.0, rel=1e-3)
+        assert rd1 == pytest.approx(32.0, rel=1e-3)
+
+    def test_thrashing_window_larger_than_cache(self):
+        pc = PageCache(capacity_bytes=4 * 4096)
+        for _ in range(3):
+            pc.touch_range(0, 16 * 4096)
+        # Nearly every touch re-faults: residency is checked before the
+        # pending fault run is serviced, so one page per pass sneaks a hit
+        # (16 cold + 2 x 15 thrashing faults).
+        assert pc.faults == 46
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError, match="smaller than one page"):
+            PageCache(capacity_bytes=100)
+
+    def test_zero_length_touch(self):
+        pc = PageCache(capacity_bytes=4 * 4096)
+        assert pc.touch_range(0, 0) == 0
+
+    def test_reference_lru_model_agreement(self, rng):
+        """Fuzz the cache against a simple ordered-list LRU reference."""
+        pc = PageCache(capacity_bytes=8 * 4096, readahead_pages=1)
+        reference: list[int] = []
+        for _ in range(600):
+            page = int(rng.integers(30))
+            expected_fault = page not in reference
+            got = pc.touch_range(page * 4096, 4096)
+            assert got == (1 if expected_fault else 0)
+            if page in reference:
+                reference.remove(page)
+            reference.append(page)
+            if len(reference) > 8:
+                reference.pop(0)
+
+
+class TestPagedArena:
+    def test_item_to_pages_translation(self):
+        arena = PagedArena(num_items=4, item_bytes=3 * 4096,
+                           capacity_bytes=100 * 4096)
+        assert arena.access_item(0) == 3
+        assert arena.access_item(0) == 0
+        assert arena.access_item(1) == 3
+
+    def test_fits_in_ram(self):
+        small = PagedArena(2, 4096, capacity_bytes=10 * 4096)
+        big = PagedArena(20, 4096, capacity_bytes=10 * 4096)
+        assert small.fits_in_ram() and not big.fits_in_ram()
+
+    def test_fault_growth_under_pressure(self):
+        """§4.3: fault counts grow with the footprint/RAM ratio."""
+
+        def faults_at(num_items):
+            arena = PagedArena(num_items, 8 * 4096, capacity_bytes=32 * 4096)
+            for _ in range(3):
+                for item in range(num_items):
+                    arena.access_item(item, write=True)
+            return arena.faults
+
+        assert faults_at(4) < faults_at(8) < faults_at(16)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ReproError, match="positive"):
+            PagedArena(0, 4096, 4096 * 4)
+
+    def test_range_checked(self):
+        arena = PagedArena(2, 4096, 4 * 4096)
+        with pytest.raises(ReproError, match="out of range"):
+            arena.access_item(2)
+
+
+class TestPagedStandardStore:
+    def test_every_access_is_a_hit(self):
+        s = PagedStandardStore(4, (3, 2, 4), ram_bytes=1 << 20)
+        s.get(0)
+        s.get(0, write_only=True)
+        assert s.stats.hits == s.stats.requests == 2
+        assert s.stats.misses == 0
+
+    def test_data_persists(self):
+        s = PagedStandardStore(4, (3,), ram_bytes=1 << 20)
+        s.get(1, write_only=True)[:] = 5.0
+        np.testing.assert_array_equal(s.get(1), 5.0)
+
+    def test_faults_accumulate_under_pressure(self):
+        shape = (512,)  # 4096 B per item -> 1 page
+        s = PagedStandardStore(16, shape, ram_bytes=4 * 4096)
+        for _ in range(2):
+            for i in range(16):
+                s.get(i, write_only=True)  # dirty pages -> swap traffic
+        assert s.faults == 32
+        assert s.simulated_seconds > 0
+
+    def test_no_io_when_fitting_in_ram(self):
+        """Below the RAM limit the standard engine pays no paging cost —
+        the regime where the paper's Fig. 5 shows standard ahead."""
+        s = PagedStandardStore(4, (512,), ram_bytes=1 << 20)
+        for _ in range(3):
+            for i in range(4):
+                s.get(i, write_only=True)
+        assert s.simulated_seconds == 0.0
+
+    def test_range_checked(self):
+        s = PagedStandardStore(2, (3,), ram_bytes=1 << 20)
+        with pytest.raises(OutOfCoreError, match="out of range"):
+            s.get(2)
