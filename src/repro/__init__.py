@@ -27,9 +27,10 @@ from repro.core.backing import (
     SimulatedDiskBackingStore,
 )
 from repro.core.policies import make_policy, policy_names
-from repro.core.prefetch import Prefetcher
+from repro.core.prefetch import Prefetcher, ThreadedPrefetcher
 from repro.core.shadow import ShadowStore, TeeStore
 from repro.core.stats import IoStats
+from repro.core.writebehind import WriteBehindQueue
 from repro.core.tiered import TieredVectorStore
 from repro.core.trace import AccessTrace, RecordingStoreProxy, simulate_policy_on_trace
 from repro.core.vecstore import AncestralVectorStore
@@ -88,7 +89,8 @@ __all__ = [
     # out-of-core layer
     "AncestralVectorStore", "IoStats", "make_policy", "policy_names",
     "MemoryBackingStore", "FileBackingStore", "MultiFileBackingStore",
-    "SimulatedDiskBackingStore", "Prefetcher", "TieredVectorStore",
+    "SimulatedDiskBackingStore", "Prefetcher", "ThreadedPrefetcher",
+    "WriteBehindQueue", "TieredVectorStore",
     "ShadowStore", "TeeStore",
     "AccessTrace", "RecordingStoreProxy", "simulate_policy_on_trace",
     # paging baseline & simulation

@@ -105,6 +105,9 @@ def _engine_for(alignment: Alignment, tree: Tree, args) -> LikelihoodEngine:
     kwargs["policy"] = args.policy
     if args.policy == "random":
         kwargs["policy_kwargs"] = {"seed": args.seed}
+    kwargs["writeback_depth"] = args.writeback_depth
+    kwargs["io_threads"] = args.io_threads
+    kwargs["prefetch_depth"] = args.prefetch_depth
     return LikelihoodEngine(tree, alignment, model, rates, **kwargs)
 
 
@@ -124,13 +127,31 @@ def _add_common(parser: argparse.ArgumentParser, with_tree=True) -> None:
     parser.add_argument("--policy", default="lru",
                         choices=["random", "lru", "lfu", "fifo", "clock", "topological"],
                         help="replacement strategy (default: lru)")
+    parser.add_argument("--writeback-depth", type=int, default=0,
+                        help="staging-buffer depth for asynchronous eviction "
+                             "write-behind (0 = synchronous writes, paper §3.2)")
+    parser.add_argument("--io-threads", type=int, default=1,
+                        help="background writer threads draining the "
+                             "write-behind queue (default: 1)")
+    parser.add_argument("--prefetch-depth", type=int, default=0,
+                        help="traversal look-ahead of the prefetch thread "
+                             "(0 = no prefetching, paper §5)")
     parser.add_argument("--seed", type=int, default=42)
 
 
 def _report_io(engine) -> str:
     s = engine.stats
-    return (f"vector requests {s.requests}, miss rate {s.miss_rate:.2%}, "
+    line = (f"vector requests {s.requests}, miss rate {s.miss_rate:.2%}, "
             f"read rate {s.read_rate:.2%}, I/O {format_bytes(s.io_bytes)}")
+    if s.prefetch_reads:
+        line += (f"\nprefetch       : {s.prefetch_reads} reads issued, "
+                 f"{s.prefetch_hits} demand hits, {s.prefetch_unused} unused")
+    if s.writeback_writes or s.writeback_stalls:
+        line += (f"\nwrite-behind   : {s.writeback_writes} drained "
+                 f"({s.writes - s.writeback_writes} coalesced), "
+                 f"{s.writeback_stalls} stalls, "
+                 f"{s.writeback_read_hits} staging read hits")
+    return line
 
 
 # ---------------------------------------------------------------------------
@@ -150,6 +171,7 @@ def cmd_evaluate(args) -> int:
         lnl = engine.loglikelihood()
         mode = "single evaluation"
     dt = time.perf_counter() - t0
+    engine.close()  # drain write-behind so the I/O report is final
     print(f"mode           : {mode}")
     print(f"log-likelihood : {lnl:.6f}")
     print(f"time           : {format_seconds(dt)}")
@@ -173,7 +195,9 @@ def cmd_search(args) -> int:
         alpha = optimize_alpha(engine)
         print(f"alpha          : {alpha:.4f}")
     dt = time.perf_counter() - t0
-    print(f"log-likelihood : {engine.loglikelihood():.6f}")
+    lnl = engine.loglikelihood()
+    engine.close()
+    print(f"log-likelihood : {lnl:.6f}")
     print(f"search         : {result.rounds} rounds, {result.moves_applied} "
           f"moves applied / {result.moves_evaluated} evaluated")
     print(f"time           : {format_seconds(dt)}")

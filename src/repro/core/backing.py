@@ -17,6 +17,8 @@ amortization argument the paper makes.
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Protocol
 
 import numpy as np
@@ -86,6 +88,13 @@ class FileBackingStore:
     Vector ``i`` lives at byte offset ``i * w`` where ``w`` is the vector
     width — the paper's ``nodemap`` offset field. The file is preallocated
     (sparse where the OS allows) on construction.
+
+    Transfers use positioned I/O (``os.pread``/``os.pwrite``), so there is
+    no shared file-position cursor: concurrent reader and writer threads —
+    the write-behind drainer and the prefetcher — cannot race each other
+    through an interleaved ``seek``. Accesses to *distinct* items are fully
+    thread-safe; the vector store never issues concurrent I/O for the same
+    item (in-flight items are excluded from eviction).
     """
 
     def __init__(self, path: str | os.PathLike, num_items: int,
@@ -95,8 +104,9 @@ class FileBackingStore:
         self.item_shape = tuple(item_shape)
         self.dtype = np.dtype(dtype)
         self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
-        self._fh = open(self.path, "w+b")
+        self._fh = open(self.path, "w+b", buffering=0)
         self._fh.truncate(self.num_items * self.item_bytes)
+        self._fd = self._fh.fileno()
         self._closed = False
 
     def _offset(self, item: int) -> int:
@@ -111,25 +121,38 @@ class FileBackingStore:
             raise BackingStoreError(
                 f"read buffer mismatch: {out.nbytes} bytes vs item width {self.item_bytes}"
             )
-        self._fh.seek(self._offset(item))
+        offset = self._offset(item)
         view = memoryview(out.reshape(-1).view(np.uint8))
-        got = self._fh.readinto(view)
-        if got != self.item_bytes:
-            raise BackingStoreError(
-                f"short read for item {item}: {got}/{self.item_bytes} bytes"
-            )
+        done = 0
+        while done < self.item_bytes:
+            got = os.preadv(self._fd, [view[done:]], offset + done)
+            if got <= 0:
+                raise BackingStoreError(
+                    f"short read for item {item}: {done}/{self.item_bytes} bytes"
+                )
+            done += got
 
     def write(self, item: int, data: np.ndarray) -> None:
-        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if data.dtype != self.dtype or not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data, dtype=self.dtype)
         if data.nbytes != self.item_bytes:
             raise BackingStoreError(
                 f"write buffer mismatch: {data.nbytes} bytes vs item width {self.item_bytes}"
             )
-        self._fh.seek(self._offset(item))
-        self._fh.write(data.tobytes())
+        offset = self._offset(item)
+        view = memoryview(data.reshape(-1).view(np.uint8))
+        done = 0
+        while done < self.item_bytes:
+            put = os.pwrite(self._fd, view[done:], offset + done)
+            if put <= 0:
+                raise BackingStoreError(
+                    f"short write for item {item}: {done}/{self.item_bytes} bytes"
+                )
+            done += put
 
     def flush(self) -> None:
-        self._fh.flush()
+        if not self._closed:
+            os.fsync(self._fd)
 
     def close(self) -> None:
         if not self._closed:
@@ -195,23 +218,39 @@ class SimulatedDiskBackingStore:
     PLF compute and adds this simulated I/O wait, reproducing the paper's
     out-of-core runtime curve without a 32 GB dataset or a 2 GB machine
     (DESIGN.md substitution 3).
+
+    With ``sleep=True`` each transfer additionally *blocks the calling
+    thread* for its modelled duration (``time.sleep``), turning the model
+    into a wall-clock-faithful slow device. This is how the async-I/O
+    benchmark measures real overlap: background writer/prefetcher threads
+    sleep concurrently with likelihood compute, while the synchronous path
+    serialises every sleep. The time accounting is thread-safe.
     """
 
     def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype=np.float64,
-                 disk: DiskModel | None = None) -> None:
+                 disk: DiskModel | None = None, sleep: bool = False) -> None:
         self._inner = MemoryBackingStore(num_items, item_shape, dtype)
         self.disk = disk if disk is not None else DiskModel.hdd()
         self.simulated_seconds = 0.0
+        self.sleep = bool(sleep)
         self.num_items = self._inner.num_items
         self.item_bytes = int(np.prod(item_shape)) * np.dtype(dtype).itemsize
+        self._time_lock = threading.Lock()
+
+    def _charge(self) -> None:
+        cost = self.disk.transfer_time(self.item_bytes, sequential=True)
+        with self._time_lock:
+            self.simulated_seconds += cost
+        if self.sleep:
+            time.sleep(cost)
 
     def read(self, item: int, out: np.ndarray) -> None:
         self._inner.read(item, out)
-        self.simulated_seconds += self.disk.transfer_time(self.item_bytes, sequential=True)
+        self._charge()
 
     def write(self, item: int, data: np.ndarray) -> None:
         self._inner.write(item, data)
-        self.simulated_seconds += self.disk.transfer_time(self.item_bytes, sequential=True)
+        self._charge()
 
     def close(self) -> None:
         self._inner.close()

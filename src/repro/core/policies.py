@@ -88,6 +88,12 @@ class LruPolicy(ReplacementPolicy):
         self._clock += 1
         self._stamp[item] = self._clock
 
+    def on_evict(self, item: int) -> None:
+        # A non-resident item can never be a victim candidate, and it gets a
+        # fresh stamp on reload — dropping the entry bounds the dict at the
+        # resident set instead of growing over a whole tree search.
+        self._stamp.pop(item, None)
+
     def choose_victim(self, candidates: Sequence[int], requested: int) -> int:
         return min(candidates, key=lambda it: self._stamp.get(it, -1))
 
@@ -103,11 +109,24 @@ class LfuPolicy(ReplacementPolicy):
     The paper finds LFU clearly worst (Fig. 2): hot root-adjacent vectors
     accumulate huge counts early and then pin themselves in RAM even after
     the search moves elsewhere.
+
+    Frequency counts are *deliberately retained across evictions* — that
+    retention is what defines this policy's (poor) behaviour in Fig. 2, so
+    pruning them on eviction would change the reproduced results. To keep
+    memory bounded over an arbitrarily long tree search anyway, the count
+    table is capped at ``max_tracked`` entries; when it overflows, the
+    coldest half of the entries is dropped (a dropped item re-enters at
+    count 0, exactly like ``_count.get(it, 0)`` already treats unknowns).
+    Recency stamps are only a tie-breaker and are refreshed on every
+    access, so those *are* pruned on eviction.
     """
 
     name = "lfu"
 
-    def __init__(self) -> None:
+    def __init__(self, max_tracked: int = 1 << 20) -> None:
+        if max_tracked < 1:
+            raise OutOfCoreError(f"max_tracked must be >= 1, got {max_tracked}")
+        self.max_tracked = int(max_tracked)
         self._count: dict[int, int] = {}
         self._clock = 0
         self._stamp: dict[int, int] = {}
@@ -116,6 +135,13 @@ class LfuPolicy(ReplacementPolicy):
         self._count[item] = self._count.get(item, 0) + 1
         self._clock += 1
         self._stamp[item] = self._clock
+        if len(self._count) > self.max_tracked:
+            keep = sorted(self._count, key=self._count.get, reverse=True)
+            keep = keep[: max(1, self.max_tracked // 2)]
+            self._count = {it: self._count[it] for it in keep}
+
+    def on_evict(self, item: int) -> None:
+        self._stamp.pop(item, None)
 
     def choose_victim(self, candidates: Sequence[int], requested: int) -> int:
         return min(
@@ -141,6 +167,9 @@ class FifoPolicy(ReplacementPolicy):
     def on_load(self, item: int) -> None:
         self._clock += 1
         self._loaded_at[item] = self._clock
+
+    def on_evict(self, item: int) -> None:
+        self._loaded_at.pop(item, None)
 
     def choose_victim(self, candidates: Sequence[int], requested: int) -> int:
         return min(candidates, key=lambda it: self._loaded_at.get(it, -1))
@@ -170,6 +199,9 @@ class TopologicalPolicy(ReplacementPolicy):
     def on_access(self, item: int, write_only: bool) -> None:
         self._clock += 1
         self._stamp[item] = self._clock
+
+    def on_evict(self, item: int) -> None:
+        self._stamp.pop(item, None)
 
     def choose_victim(self, candidates: Sequence[int], requested: int) -> int:
         if self.distance_provider is None:

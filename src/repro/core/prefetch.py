@@ -6,23 +6,39 @@ is computed *before* any likelihood arithmetic (§3.4), the exact upcoming
 vector access order is known — a prefetcher can pull the next vectors into
 free or soon-to-be-free slots while the CPU crunches the current one.
 
-In Python we model the *effect* rather than spawn real threads: the
-:class:`Prefetcher` issues the backing-store reads ahead of demand and
-marks those slots, and demand hits on prefetched slots are counted
-separately. With a :class:`~repro.core.backing.SimulatedDiskBackingStore`,
-prefetched read time can be discounted by an ``overlap`` factor,
-representing how much of the transfer hides behind computation.
+Two implementations share the store's :meth:`prefetch_load` entry point,
+which accounts ahead-of-demand traffic only in the ``prefetch_*`` counters
+so the demand miss/read rates (the Fig. 2–4 metrics) stay untouched:
+
+* :class:`Prefetcher` — the synchronous *model*: it issues the upcoming
+  reads inline and, with a
+  :class:`~repro.core.backing.SimulatedDiskBackingStore`, discounts an
+  ``overlap`` fraction of their cost, representing how much of the
+  transfer would hide behind computation.
+* :class:`ThreadedPrefetcher` — the real thing: a daemon thread that is
+  fed the access sequence (from
+  ``LikelihoodEngine.plan_accesses``), tracks demand progress through the
+  store's request counter, and keeps the next ``depth`` read items
+  resident or in flight while the compute thread works.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.backing import SimulatedDiskBackingStore
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
 
 
+def _validated_depth(depth: int) -> int:
+    if depth < 1:
+        raise OutOfCoreError(f"prefetch depth must be >= 1, got {depth}")
+    return int(depth)
+
+
 class Prefetcher:
-    """Issues ahead-of-demand loads for a known upcoming access sequence.
+    """Synchronous model of a prefetch thread for a known access sequence.
 
     Parameters
     ----------
@@ -40,14 +56,11 @@ class Prefetcher:
 
     def __init__(self, store: AncestralVectorStore, depth: int = 2,
                  overlap: float = 1.0) -> None:
-        if depth < 1:
-            raise OutOfCoreError(f"prefetch depth must be >= 1, got {depth}")
+        self.store = store
+        self.depth = _validated_depth(depth)
         if not 0.0 <= overlap <= 1.0:
             raise OutOfCoreError(f"overlap must be in [0, 1], got {overlap}")
-        self.store = store
-        self.depth = depth
         self.overlap = overlap
-        self._prefetched: set[int] = set()
         self.hidden_seconds = 0.0
 
     def run_schedule(self, upcoming: list[tuple[int, tuple, bool]]) -> None:
@@ -56,26 +69,138 @@ class Prefetcher:
         Walks the schedule and, before each demand access would occur,
         ensures the next ``depth`` *read* items are resident (write-only
         items gain nothing from prefetch: their reads are skipped anyway).
-        This is the synchronous model of the paper's prefetch thread; call
-        it immediately before executing the corresponding traversal.
+        Loads go through ``store.prefetch_load``, so only ``prefetch_*``
+        counters move — the demand ``requests``/``misses``/``reads`` are
+        charged later, by the traversal itself, exactly as they would be
+        without prefetching. Call immediately before executing the
+        corresponding traversal.
         """
         backing = self.store.backing
         simulated = isinstance(backing, SimulatedDiskBackingStore)
         for idx, (item, pins, write_only) in enumerate(upcoming):
             horizon = upcoming[idx: idx + self.depth]
-            protect = {it for it, _, _ in horizon} | set(pins)
-            for nxt, npins, nwrite in horizon:
-                if nwrite or self.store.is_resident(nxt):
+            protect = {it for it, _, _ in horizon} | {int(p) for p in pins}
+            written_first = set()
+            for nxt, _npins, nwrite in horizon:
+                if nwrite:
+                    # A read of this item later in the horizon is satisfied
+                    # by the write, not by (stale) backing-store bytes.
+                    written_first.add(nxt)
+                    continue
+                if nxt in written_first or self.store.is_resident(nxt):
                     continue
                 before = backing.simulated_seconds if simulated else 0.0
-                self.store.get(nxt, pins=tuple(protect - {nxt}), write_only=False)
-                self.store.stats.prefetch_reads += 1
-                self._prefetched.add(nxt)
-                if simulated:
+                loaded = self.store.prefetch_load(nxt, protect=protect)
+                if simulated and loaded:
+                    # The swap-in (and any eviction write it caused) would
+                    # run on the prefetch thread: hide `overlap` of it.
                     cost = backing.simulated_seconds - before
                     hidden = cost * self.overlap
                     backing.simulated_seconds -= hidden
                     self.hidden_seconds += hidden
-            if item in self._prefetched and self.store.is_resident(item):
-                self.store.stats.prefetch_hits += 1
-                self._prefetched.discard(item)
+
+
+class ThreadedPrefetcher:
+    """A real prefetch thread consuming the traversal access sequence.
+
+    Usage::
+
+        pf = ThreadedPrefetcher(store, depth=4)
+        pf.feed(engine.plan_accesses(plan))   # before each traversal
+        engine.execute_plan(plan)             # compute overlaps the reads
+        ...
+        pf.stop()                             # at teardown
+
+    The thread measures demand progress as the store's request-counter
+    delta since :meth:`feed`, keeps the next ``depth`` read items of the
+    schedule resident or in flight, and parks on the store's condition
+    variable when there is nothing to do. It never evicts pinned,
+    in-flight or in-horizon items, and a load that cannot find a slot is
+    deferred until demand progresses (prefetch is best-effort by design).
+    """
+
+    def __init__(self, store: AncestralVectorStore, depth: int = 4) -> None:
+        self.store = store
+        self.depth = _validated_depth(depth)
+        self._schedule: list[tuple[int, tuple, bool]] = []
+        self._base = 0
+        self._deferred: set[int] = set()
+        self._last_progress = -1
+        self._stop = False
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="prefetcher")
+        self._thread.start()
+
+    def feed(self, schedule: list[tuple[int, tuple, bool]]) -> None:
+        """Install the upcoming access sequence; prefetching starts at once."""
+        store = self.store
+        with store._cond:
+            if self._stop:
+                raise OutOfCoreError("prefetcher is stopped")
+            self._schedule = list(schedule)
+            self._base = store.stats.requests
+            self._deferred.clear()
+            self._last_progress = -1
+            store._cond.notify_all()
+
+    def idle(self) -> bool:
+        """True when the schedule is exhausted (mainly for tests)."""
+        store = self.store
+        with store._cond:
+            return not self._pick_locked()
+
+    def stop(self) -> None:
+        """Terminate the prefetch thread (idempotent)."""
+        store = self.store
+        with store._cond:
+            self._stop = True
+            store._cond.notify_all()
+        self._thread.join()
+
+    close = stop
+
+    # -- worker ----------------------------------------------------------------
+
+    def _pick_locked(self):
+        """Next (item, protect) to load, or None. Caller holds the store lock."""
+        progress = self.store.stats.requests - self._base
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._deferred.clear()
+        window = self._schedule[progress: progress + self.depth]
+        if not window:
+            return None
+        horizon = {it for it, _, _ in window}
+        written_first = set()
+        for it, _pins, write_only in window:
+            if write_only:
+                # Its upcoming read (if any) will see this write's data;
+                # the backing store's bytes are stale — nothing to fetch.
+                written_first.add(it)
+                continue
+            if it in written_first or it in self._deferred:
+                continue
+            if self.store._item_slot[it] >= 0 or it in self.store._inflight:
+                continue
+            return it, horizon
+        return None
+
+    def _run(self) -> None:
+        store = self.store
+        while True:
+            with store._cond:
+                while True:
+                    if self._stop:
+                        return
+                    target = self._pick_locked()
+                    if target is not None:
+                        break
+                    # The timeout is belt-and-braces against a lost notify;
+                    # progress signals normally wake us immediately.
+                    store._cond.wait(timeout=0.1)
+            item, horizon = target
+            if not store.prefetch_load(item, protect=horizon):
+                with store._cond:
+                    # No slot (or a racing demand load): retry only after
+                    # demand progresses, so we never busy-spin.
+                    self._deferred.add(item)

@@ -4,13 +4,53 @@ The paper's evaluation (§4.1–4.2) reports two ratios per run:
 
 * **miss rate** — vector requests not already resident in RAM, over all
   requests (Figs. 2 and 4);
-* **read rate** — requests that caused an *actual disk read*, over all
+* **read rate** — requests that caused a *demand read*, over all
   requests; lower than the miss rate when read skipping (§3.4) elides
   reads of write-only vectors (Fig. 3).
+
+Counter semantics (demand vs. prefetch vs. write-behind)
+--------------------------------------------------------
+The **demand counters** (``requests``/``hits``/``misses``/``reads``/
+``read_skips``/``writes``/``write_skips``/``bytes_read``/``bytes_written``)
+describe the *demand access stream as if prefetching and write-behind were
+transparent*: they are functions of the access trace and the replacement
+policy alone, so the Fig. 2–4 metrics stay comparable whether or not the
+asynchronous I/O pipeline is enabled. Concretely:
+
+* a demand request that lands on a slot filled ahead of time by a
+  prefetcher counts as a **miss** and a **read** (that is exactly what it
+  would have been without prefetch) and additionally as a
+  ``prefetch_hits`` event; if that first touch is *write-only* under read
+  skipping, it counts as a **miss** and a **read skip** instead, and the
+  prefetched bytes are charged to ``prefetch_unused``;
+* an eviction that stages its victim into the write-behind queue counts as
+  a **write** at eviction time (that is when the synchronous path would
+  have written); the physical drain is counted under ``writeback_writes``.
+
+The **prefetch counters** (``prefetch_*``) and **write-behind counters**
+(``writeback_*``) record the physical asynchronous traffic:
+
+* ``prefetch_reads``/``prefetch_bytes`` — loads issued ahead of demand;
+* ``prefetch_hits`` — demand requests satisfied by a prefetched slot;
+* ``prefetch_unused`` — prefetched vectors whose bytes were never
+  consumed: evicted before any demand touch, or first touched by a
+  write-only request (wasted prefetch I/O either way);
+* ``writeback_writes``/``writeback_bytes`` — victims physically drained
+  to the backing store by the writer thread(s); lower than ``writes``
+  when re-evictions coalesce in the staging buffer;
+* ``writeback_stalls`` — evictions that blocked on a full staging buffer
+  (back-pressure events);
+* ``writeback_read_hits`` — reads (demand or prefetch) served from the
+  staging buffer instead of the backing store (read-your-writes).
 
 :class:`IoStats` tracks these plus byte counts and swap counts, supports
 named snapshots (so a search phase can be measured independently of the
 initial full traversal) and pretty-prints as a table row.
+
+Thread-safety: each counter has a single writer — the demand counters are
+only touched by the compute thread, ``prefetch_*`` only by the prefetch
+machinery and ``writeback_*`` only under the write-behind queue's lock —
+so no additional synchronisation is required.
 """
 
 from __future__ import annotations
@@ -25,14 +65,20 @@ class IoStats:
     requests: int = 0          #: total calls to ``get()``
     hits: int = 0              #: requests satisfied from a RAM slot
     misses: int = 0            #: requests requiring a slot (dis)placement
-    reads: int = 0             #: vectors actually read from backing store
+    reads: int = 0             #: demand reads (as if prefetch were transparent)
     read_skips: int = 0        #: reads elided by the read-skipping rule
-    writes: int = 0            #: vectors written back to the backing store
+    writes: int = 0            #: demand write-backs (at eviction/flush time)
     write_skips: int = 0       #: write-backs elided by clean-eviction tracking
     bytes_read: int = 0
     bytes_written: int = 0
-    prefetch_reads: int = 0    #: reads issued ahead of demand by a prefetcher
+    prefetch_reads: int = 0    #: physical reads issued ahead of demand
+    prefetch_bytes: int = 0    #: bytes physically read ahead of demand
     prefetch_hits: int = 0     #: demand requests satisfied by a prefetched slot
+    prefetch_unused: int = 0   #: prefetched vectors evicted before any demand use
+    writeback_writes: int = 0  #: victims physically drained by the writer thread
+    writeback_bytes: int = 0   #: bytes physically drained by the writer thread
+    writeback_stalls: int = 0  #: evictions blocked on a full staging buffer
+    writeback_read_hits: int = 0  #: reads served from the staging buffer
     _snapshots: dict = field(default_factory=dict, repr=False)
 
     # -- derived rates (paper's metrics) ----------------------------------------
@@ -48,9 +94,11 @@ class IoStats:
 
     @property
     def read_rate(self) -> float:
-        """Fraction of requests that caused a *real* disk read (Fig. 3 metric).
+        """Fraction of requests that caused a *demand* read (Fig. 3 metric).
 
         Equals :attr:`miss_rate` when read skipping is disabled (§3.4).
+        Independent of whether a prefetcher moved the physical read ahead
+        of the request (see the module docstring).
         """
         return self.reads / self.requests if self.requests else 0.0
 
@@ -63,6 +111,25 @@ class IoStats:
     def io_bytes(self) -> int:
         return self.bytes_read + self.bytes_written
 
+    @property
+    def physical_reads(self) -> int:
+        """Reads that actually hit the backing store.
+
+        Demand reads minus those satisfied by a prefetched slot or the
+        write-behind staging buffer, plus the prefetcher's own reads.
+        """
+        return (self.reads - self.prefetch_hits + self.prefetch_reads
+                - self.writeback_read_hits)
+
+    @property
+    def physical_writes(self) -> int:
+        """Writes that actually hit the backing store.
+
+        Equals :attr:`writes` on the synchronous path; with write-behind it
+        is the drained count (coalescing can make it smaller).
+        """
+        return self.writeback_writes if self.writeback_writes else self.writes
+
     # -- lifecycle ------------------------------------------------------------------
 
     def reset(self) -> None:
@@ -70,7 +137,10 @@ class IoStats:
         self.requests = self.hits = self.misses = 0
         self.reads = self.read_skips = self.writes = self.write_skips = 0
         self.bytes_read = self.bytes_written = 0
-        self.prefetch_reads = self.prefetch_hits = 0
+        self.prefetch_reads = self.prefetch_bytes = 0
+        self.prefetch_hits = self.prefetch_unused = 0
+        self.writeback_writes = self.writeback_bytes = 0
+        self.writeback_stalls = self.writeback_read_hits = 0
 
     def snapshot(self, name: str) -> None:
         """Remember current counters under ``name`` for later :meth:`delta`."""
@@ -99,7 +169,13 @@ class IoStats:
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
             "prefetch_reads": self.prefetch_reads,
+            "prefetch_bytes": self.prefetch_bytes,
             "prefetch_hits": self.prefetch_hits,
+            "prefetch_unused": self.prefetch_unused,
+            "writeback_writes": self.writeback_writes,
+            "writeback_bytes": self.writeback_bytes,
+            "writeback_stalls": self.writeback_stalls,
+            "writeback_read_hits": self.writeback_read_hits,
         }
 
     def as_row(self) -> dict:

@@ -18,18 +18,45 @@ paper                 here
 
 Correctness contract (paper §4.1): routing vector accesses through this
 store must leave likelihood results **bit-identical** to the all-in-RAM
-implementation, for every policy and every ``m ≥ 3``.
+implementation, for every policy and every ``m ≥ 3`` — including when the
+asynchronous I/O pipeline below is active.
+
+Asynchronous I/O pipeline (paper §5 future work)
+------------------------------------------------
+The store optionally overlaps I/O with likelihood compute:
+
+* **Write-behind** (``writeback_depth > 0``): evictions copy the victim
+  slot into a bounded :class:`~repro.core.writebehind.WriteBehindQueue`
+  instead of writing synchronously; background writer threads drain it.
+  Reads consult the staging buffer first (read-your-writes), ``flush``/
+  ``close`` use its ``drain()`` barrier.
+* **Prefetch** (:class:`~repro.core.prefetch.ThreadedPrefetcher` or the
+  synchronous model in :class:`~repro.core.prefetch.Prefetcher`): upcoming
+  read items from the traversal access sequence are loaded ahead of demand
+  via :meth:`prefetch_load`, which never steals a slot from pinned,
+  in-flight or caller-protected items.
+
+Thread model: one compute thread calls ``get``; at most one prefetch
+thread calls ``prefetch_load``; writer threads live inside the write-behind
+queue and never take the store lock. All mutable bookkeeping is guarded by
+one condition variable (``self._cond``). A slot being filled is *published*
+in the maps but marked in-flight: demand requests for it wait on its event,
+and eviction never selects in-flight items, so no thread ever reads or
+recycles a half-filled slot. Backing-store transfers happen outside the
+lock — that is the whole point of the pipeline.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
 from repro.core.backing import BackingStore, MemoryBackingStore
 from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
+from repro.core.writebehind import WriteBehindQueue
 from repro.errors import OutOfCoreError, PinnedSlotError
 
 #: Smallest legal slot count: computing one ancestral vector needs it plus
@@ -68,6 +95,13 @@ class AncestralVectorStore:
     poison_skipped_reads:
         Debug aid: fill read-skipped slots with NaN so a kernel that
         *reads* a write-only vector is caught immediately by tests.
+    writeback_depth:
+        ``> 0`` enables asynchronous write-behind with a staging buffer of
+        that many vectors; ``0`` (default) keeps the paper's synchronous
+        eviction write.
+    io_threads:
+        Writer threads draining the write-behind queue (ignored when
+        write-behind is off).
     """
 
     def __init__(
@@ -84,6 +118,8 @@ class AncestralVectorStore:
         track_dirty: bool = False,
         poison_skipped_reads: bool = False,
         policy_kwargs: dict | None = None,
+        writeback_depth: int = 0,
+        io_threads: int = 1,
     ) -> None:
         if num_items < 1:
             raise OutOfCoreError(f"need at least one item, got {num_items}")
@@ -123,12 +159,31 @@ class AncestralVectorStore:
         self._free: list[int] = list(range(self.num_slots - 1, -1, -1))
         self._ever_stored = np.zeros(self.num_items, dtype=bool)
 
+        # Async-pipeline state (see the module docstring's thread model).
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._inflight: dict[int, threading.Event] = {}
+        self._prefetched_untouched: set[int] = set()
+        self._active_pins: set[int] = set()
+        self._writeback: WriteBehindQueue | None = None
+        if int(writeback_depth) > 0:
+            self._writeback = WriteBehindQueue(
+                self.backing, self.item_shape, self.dtype,
+                depth=int(writeback_depth), io_threads=int(io_threads),
+                stats=self.stats,
+            )
+
     # -- introspection -----------------------------------------------------------
 
     @property
     def fraction(self) -> float:
         """Effective ``f = m / n``."""
         return self.num_slots / self.num_items
+
+    @property
+    def writeback(self) -> WriteBehindQueue | None:
+        """The write-behind queue, or ``None`` when evictions are synchronous."""
+        return self._writeback
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)
@@ -152,69 +207,155 @@ class AncestralVectorStore:
 
         Mirrors ``getxvector(i, pin_j, pin_k)``: if ``item`` is not
         resident, a victim slot is chosen by the replacement strategy —
-        never one holding a pinned item — the victim is swapped out, and
-        ``item`` is swapped in (read elided under read skipping when
-        ``write_only``). The returned view stays valid only until the next
-        ``get`` that may evict it; kernels therefore fetch all operands
-        with mutual pins, exactly as the paper prescribes for the
-        (parent, left child, right child) triple.
+        never one holding a pinned or in-flight item — the victim is
+        swapped out, and ``item`` is swapped in (read elided under read
+        skipping when ``write_only``). The returned view stays valid only
+        until the next ``get`` that may evict it; kernels therefore fetch
+        all operands with mutual pins, exactly as the paper prescribes for
+        the (parent, left child, right child) triple. The pins of the most
+        recent ``get`` additionally shield those operands from a concurrent
+        prefetcher until the next demand access.
         """
+        item = int(item)
         self._check_item(item)
         for p in pins:
             self._check_item(p)
-        self.stats.requests += 1
+        with self._cond:
+            self.stats.requests += 1
+            self._active_pins = {item, *(int(p) for p in pins)}
+            self._cond.notify_all()  # progress signal for a prefetch thread
 
-        slot = self._item_slot[item]
-        if slot >= 0:
-            self.stats.hits += 1
-        else:
+        while True:
+            wait_ev = None
+            with self._cond:
+                slot = int(self._item_slot[item])
+                ev = self._inflight.get(item)
+                if ev is not None:
+                    wait_ev = ev
+                elif slot >= 0:
+                    return self._account_hit(item, slot, write_only)
+                else:
+                    self.stats.misses += 1
+                    slot = self._allocate_slot(item, pins)
+                    if write_only and self.read_skipping:
+                        self.stats.read_skips += 1
+                        if self.poison_skipped_reads:
+                            self._slots[slot].fill(np.nan)
+                        self._publish(item, slot)
+                        self.policy.on_load(item)
+                        return self._finish_load(item, slot, write_only)
+                    # Publish the mapping, mark in-flight and read outside
+                    # the lock so a prefetch thread can keep working.
+                    self._publish(item, slot)
+                    self._inflight[item] = threading.Event()
+            if wait_ev is not None:
+                # A prefetch load of this exact item is in flight: wait for
+                # it, then re-enter — the hit branch accounts it.
+                wait_ev.wait()
+                continue
+            try:
+                from_staging = self._read_into_slot(item, slot)
+            except Exception:
+                # Return the already-vacated slot to the free list so a
+                # failed swap-in cannot leak capacity (the evicted victim
+                # was staged/written out before the read was attempted).
+                with self._cond:
+                    self._item_slot[item] = -1
+                    self._slot_item[slot] = -1
+                    self._free.append(slot)
+                    done = self._inflight.pop(item, None)
+                    if done is not None:
+                        done.set()
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                self.stats.reads += 1
+                self.stats.bytes_read += self.item_bytes
+                if from_staging:
+                    self.stats.writeback_read_hits += 1
+                self.policy.on_load(item)
+                done = self._inflight.pop(item, None)
+                if done is not None:
+                    done.set()
+                self._cond.notify_all()
+                return self._finish_load(item, slot, write_only)
+
+    def _account_hit(self, item: int, slot: int, write_only: bool) -> np.ndarray:
+        """Stats + policy bookkeeping for a request that found ``item`` resident.
+
+        A first demand touch of a prefetched slot is charged as the miss
+        plus read — or read skip, when write-only under read skipping —
+        that it would have been without prefetch (see ``repro.core.stats``),
+        so the Fig. 2–4 demand metrics are independent of prefetching.
+        """
+        if item in self._prefetched_untouched:
+            self._prefetched_untouched.discard(item)
             self.stats.misses += 1
-            slot = self._allocate_slot(item, pins)
             if write_only and self.read_skipping:
+                # Without prefetch this miss would have skipped its read
+                # (§3.4) — the prefetched bytes were wasted, not a hit.
                 self.stats.read_skips += 1
+                self.stats.prefetch_unused += 1
                 if self.poison_skipped_reads:
                     self._slots[slot].fill(np.nan)
             else:
-                try:
-                    self.backing.read(item, self._slots[slot])
-                except Exception:
-                    # Return the already-vacated slot to the free list so a
-                    # failed swap-in cannot leak capacity (the evicted
-                    # victim was written out before the read was attempted).
-                    self._free.append(slot)
-                    raise
                 self.stats.reads += 1
                 self.stats.bytes_read += self.item_bytes
-            self._slot_item[slot] = item
-            self._item_slot[item] = slot
-            self._dirty[slot] = False
-            self.policy.on_load(item)
-
+                self.stats.prefetch_hits += 1
+        else:
+            self.stats.hits += 1
         if write_only:
             self._dirty[slot] = True
             self._ever_stored[item] = True
         self.policy.on_access(item, write_only)
         return self._slots[slot]
 
+    def _finish_load(self, item: int, slot: int, write_only: bool) -> np.ndarray:
+        self._dirty[slot] = False
+        if write_only:
+            self._dirty[slot] = True
+            self._ever_stored[item] = True
+        self.policy.on_access(item, write_only)
+        return self._slots[slot]
+
+    def _publish(self, item: int, slot: int) -> None:
+        self._slot_item[slot] = item
+        self._item_slot[item] = slot
+        self._dirty[slot] = False
+
+    def _read_into_slot(self, item: int, slot: int) -> bool:
+        """Fill a slot from the staging buffer or the backing store.
+
+        Returns ``True`` when served by the write-behind staging buffer
+        (whose copy is newer than the backing store's — read-your-writes).
+        """
+        if self._writeback is not None and \
+                self._writeback.read_into(item, self._slots[slot]):
+            return True
+        self.backing.read(item, self._slots[slot])
+        return False
+
     def mark_dirty(self, item: int) -> None:
         """Declare that a vector obtained read-mostly was actually modified."""
         self._check_item(item)
-        slot = self._item_slot[item]
-        if slot < 0:
-            raise OutOfCoreError(f"item {item} is not resident")
-        self._dirty[slot] = True
-        self._ever_stored[item] = True
+        with self._cond:
+            slot = self._item_slot[item]
+            if slot < 0:
+                raise OutOfCoreError(f"item {item} is not resident")
+            self._dirty[slot] = True
+            self._ever_stored[item] = True
 
     def _allocate_slot(self, item: int, pins: tuple) -> int:
         if self._free:
             return self._free.pop()
-        pinned = {int(p) for p in pins}
-        candidates = [int(i) for i in self._slot_item if i >= 0 and int(i) not in pinned]
+        excluded = {int(p) for p in pins} | set(self._inflight)
+        candidates = [int(i) for i in self._slot_item
+                      if i >= 0 and int(i) not in excluded]
         if not candidates:
             raise PinnedSlotError(
                 f"all {self.num_slots} slots pinned while requesting item {item} "
-                f"(pins={sorted(pinned)}); the store needs at least "
-                f"{len(pinned) + 1} slots"
+                f"(pins={sorted(excluded)}); the store needs at least "
+                f"{len(excluded) + 1} slots"
             )
         victim = int(self.policy.choose_victim(candidates, item))
         if victim not in candidates:
@@ -226,10 +367,13 @@ class AncestralVectorStore:
         return vslot
 
     def _evict(self, item: int, slot: int) -> None:
+        if item in self._prefetched_untouched:
+            self._prefetched_untouched.discard(item)
+            self.stats.prefetch_unused += 1
         if self.track_dirty and not self._dirty[slot]:
             self.stats.write_skips += 1
         else:
-            self.backing.write(item, self._slots[slot])
+            self._write_out(item, slot)
             self.stats.writes += 1
             self.stats.bytes_written += self.item_bytes
         self._item_slot[item] = -1
@@ -237,56 +381,169 @@ class AncestralVectorStore:
         self._dirty[slot] = False
         self.policy.on_evict(item)
 
+    def _write_out(self, item: int, slot: int) -> None:
+        """Persist one slot — staged asynchronously when write-behind is on."""
+        if self._writeback is not None:
+            self._writeback.put(item, self._slots[slot])
+        else:
+            self.backing.write(item, self._slots[slot])
+
+    # -- prefetch support (paper §5) -------------------------------------------------
+
+    def prefetch_load(self, item: int, protect=()) -> bool:
+        """Load ``item`` ahead of demand; best-effort, thread-safe.
+
+        Allocates a slot — never stealing from ``protect``, the pins of the
+        most recent demand ``get`` or in-flight loads — publishes the
+        mapping, and fills the slot from the staging buffer or the backing
+        store *outside the lock*. Demand requests arriving mid-load wait on
+        the in-flight event. Returns ``False`` (without raising) when the
+        item is already resident/in flight, no evictable slot exists, or
+        the read fails — prefetching is an optimisation, never an
+        obligation. Accounts only ``prefetch_*`` traffic: demand counters
+        are charged at first demand touch, as if prefetch were transparent.
+        """
+        item = int(item)
+        self._check_item(item)
+        with self._cond:
+            if self._item_slot[item] >= 0 or item in self._inflight:
+                return False
+            slot = self._try_allocate(item, protect)
+            if slot is None:
+                return False
+            self._publish(item, slot)
+            ev = threading.Event()
+            self._inflight[item] = ev
+        try:
+            from_staging = self._read_into_slot(item, slot)
+        except Exception:
+            with self._cond:
+                self._item_slot[item] = -1
+                self._slot_item[slot] = -1
+                self._free.append(slot)
+                self._inflight.pop(item, None)
+                ev.set()
+                self._cond.notify_all()
+            return False
+        with self._cond:
+            self.stats.prefetch_reads += 1
+            self.stats.prefetch_bytes += self.item_bytes
+            if from_staging:
+                self.stats.writeback_read_hits += 1
+            self._prefetched_untouched.add(item)
+            self.policy.on_load(item)
+            # Stamp the policy so the freshly prefetched vector is not the
+            # immediate next victim (it is needed within the horizon).
+            self.policy.on_access(item, False)
+            self._inflight.pop(item, None)
+            ev.set()
+            self._cond.notify_all()
+        return True
+
+    def _try_allocate(self, item: int, protect) -> int | None:
+        """Non-raising slot allocation for prefetch (``None`` = no slot)."""
+        if self._free:
+            return self._free.pop()
+        excluded = ({int(p) for p in protect} | self._active_pins
+                    | set(self._inflight) | self._prefetched_untouched)
+        candidates = [int(i) for i in self._slot_item
+                      if i >= 0 and int(i) not in excluded]
+        if not candidates:
+            return None
+        victim = int(self.policy.choose_victim(candidates, item))
+        if victim not in candidates:
+            return None
+        vslot = int(self._item_slot[victim])
+        self._evict(victim, vslot)
+        return vslot
+
     # -- bulk operations ----------------------------------------------------------
 
-    def flush(self) -> None:
-        """Write every resident vector back to the backing store (kept resident)."""
-        for slot in range(self.num_slots):
-            item = int(self._slot_item[slot])
-            if item >= 0:
-                self.backing.write(item, self._slots[slot])
+    def flush(self, force: bool = False) -> None:
+        """Write resident vectors back to the backing store (kept resident).
+
+        Honours :attr:`track_dirty`: clean residents are skipped (credited
+        to ``write_skips``) unless ``force=True`` — the checkpointing
+        escape hatch that persists everything regardless. Acts as a full
+        barrier: returns only after the write-behind queue (if any) has
+        drained, so the backing store is durable and self-consistent.
+        """
+        with self._cond:
+            self._settle()
+            for slot in range(self.num_slots):
+                item = int(self._slot_item[slot])
+                if item < 0:
+                    continue
+                if not force and self.track_dirty and not self._dirty[slot]:
+                    self.stats.write_skips += 1
+                    continue
+                self._write_out(item, slot)
                 self.stats.writes += 1
                 self.stats.bytes_written += self.item_bytes
                 self._dirty[slot] = False
+        self.drain()
+
+    def drain(self) -> None:
+        """Barrier: block until all staged write-behind data is durable."""
+        if self._writeback is not None:
+            self._writeback.drain()
+
+    def _settle(self) -> None:
+        """Wait (under the lock) until no load is in flight."""
+        while self._inflight:
+            self._cond.wait()
 
     def evict_all(self) -> None:
         """Empty every slot (vectors written back); used between experiment phases."""
-        for slot in range(self.num_slots):
-            item = int(self._slot_item[slot])
-            if item >= 0:
-                self._evict(item, slot)
-                self._free.append(slot)
+        with self._cond:
+            self._settle()
+            for slot in range(self.num_slots):
+                item = int(self._slot_item[slot])
+                if item >= 0:
+                    self._evict(item, slot)
+                    self._free.append(slot)
+        self.drain()
 
     def read_item(self, item: int) -> np.ndarray:
         """Copy of a vector's current contents, resident or not (no stats impact).
 
         For verification/debugging only — production code uses :meth:`get`.
+        Consults, in order: the RAM slot, the write-behind staging buffer,
+        the backing store — so it always observes the newest version.
         """
         self._check_item(item)
-        slot = self._item_slot[item]
-        if slot >= 0:
-            return self._slots[slot].copy()
+        with self._cond:
+            self._settle()
+            slot = self._item_slot[item]
+            if slot >= 0:
+                return self._slots[slot].copy()
         out = np.empty(self.item_shape, dtype=self.dtype)
+        if self._writeback is not None and self._writeback.read_into(item, out):
+            return out
         self.backing.read(item, out)
         return out
 
     def validate(self) -> None:
         """Internal-consistency check of the two-way slot/item maps."""
-        for slot in range(self.num_slots):
-            item = int(self._slot_item[slot])
-            if item >= 0 and int(self._item_slot[item]) != slot:
-                raise OutOfCoreError(f"slot {slot} ↦ item {item} ↦ slot "
-                                     f"{int(self._item_slot[item])} mismatch")
-        for item in range(self.num_items):
-            slot = int(self._item_slot[item])
-            if slot >= 0 and int(self._slot_item[slot]) != item:
-                raise OutOfCoreError(f"item {item} ↦ slot {slot} ↦ item "
-                                     f"{int(self._slot_item[slot])} mismatch")
-        resident = sum(1 for i in self._slot_item if i >= 0)
-        if resident + len(self._free) != self.num_slots:
-            raise OutOfCoreError("free-list/resident accounting mismatch")
+        with self._cond:
+            for slot in range(self.num_slots):
+                item = int(self._slot_item[slot])
+                if item >= 0 and int(self._item_slot[item]) != slot:
+                    raise OutOfCoreError(f"slot {slot} ↦ item {item} ↦ slot "
+                                         f"{int(self._item_slot[item])} mismatch")
+            for item in range(self.num_items):
+                slot = int(self._item_slot[item])
+                if slot >= 0 and int(self._slot_item[slot]) != item:
+                    raise OutOfCoreError(f"item {item} ↦ slot {slot} ↦ item "
+                                         f"{int(self._slot_item[slot])} mismatch")
+            resident = sum(1 for i in self._slot_item if i >= 0)
+            if resident + len(self._free) != self.num_slots:
+                raise OutOfCoreError("free-list/resident accounting mismatch")
 
     def close(self) -> None:
+        """Drain pending write-behind traffic and close the backing store."""
+        if self._writeback is not None:
+            self._writeback.close()
         self.backing.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,219 @@
+"""Asynchronous write-behind: evictions stage their victim, a thread drains it.
+
+The paper's eviction path is synchronous — ``getxvector()`` blocks the
+likelihood compute until the victim vector is written out (§3.2). The
+:class:`WriteBehindQueue` removes that stall: the store copies the victim
+slot into a bounded *staging buffer* and returns immediately; one or more
+background writer threads drain staged vectors to the backing store in
+FIFO order.
+
+Correctness invariants
+----------------------
+* **Read-your-writes.** A staged vector stays visible to
+  :meth:`read_into` from the moment it is :meth:`put` until its write has
+  *completed* — never merely until it has been popped. A demand or
+  prefetch read of a recently evicted item is served from the staging
+  buffer, not from the (possibly stale) backing store.
+* **Coalescing.** Re-staging an item that is already queued overwrites the
+  staged copy in place — only the newest version is ever written. If the
+  older version is mid-write, a fresh buffer is staged and drains later
+  (writes to one item are never concurrent, so the newest data always
+  lands last).
+* **Back-pressure.** ``put`` blocks while the buffer holds ``depth``
+  distinct items (each blocked eviction counts one ``writeback_stalls``).
+* **Drain barrier.** :meth:`drain` returns only once every staged vector
+  is durable in the backing store; ``flush``/``close``/checkpointing use
+  it as their barrier.
+* **Fault handling.** A failed write keeps its vector staged (still
+  readable), re-queues it for retry and parks the writer until new
+  activity; the error surfaces on the next ``drain``/``close``.
+
+Thread model: callers (the compute thread via eviction, the prefetcher via
+``read_into``) and ``io_threads`` writer threads synchronise on one
+condition variable. Writers never take the vector-store lock, so a caller
+may block in ``put`` while holding it without deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.core.stats import IoStats
+from repro.errors import OutOfCoreError
+
+
+class WriteBehindQueue:
+    """Bounded staging buffer + background writer thread(s).
+
+    Parameters
+    ----------
+    backing:
+        The :class:`~repro.core.backing.BackingStore` drained into. Must
+        tolerate concurrent writes to *distinct* items (all shipped stores
+        do; :class:`FileBackingStore` uses positioned I/O).
+    item_shape / dtype:
+        Geometry of one vector (staging buffers are preallocated lazily
+        and pooled, so steady-state operation allocates nothing).
+    depth:
+        Maximum number of distinct staged items before ``put`` blocks.
+    io_threads:
+        Number of writer threads (more than one only helps when the
+        backing store overlaps operations, e.g. real disk I/O).
+    stats:
+        The owning store's :class:`IoStats`; this queue updates only the
+        ``writeback_writes`` / ``writeback_bytes`` / ``writeback_stalls``
+        counters, always under its own lock.
+    """
+
+    def __init__(self, backing, item_shape: tuple[int, ...], dtype,
+                 depth: int = 8, io_threads: int = 1,
+                 stats: IoStats | None = None) -> None:
+        if depth < 1:
+            raise OutOfCoreError(f"write-behind depth must be >= 1, got {depth}")
+        if io_threads < 1:
+            raise OutOfCoreError(f"need at least one writer thread, got {io_threads}")
+        self.backing = backing
+        self.item_shape = tuple(item_shape)
+        self.dtype = np.dtype(dtype)
+        self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
+        self.depth = int(depth)
+        self.stats = stats if stats is not None else IoStats()
+
+        self._cond = threading.Condition()
+        self._staged: dict[int, np.ndarray] = {}   # item -> newest staged copy
+        self._order: deque[int] = deque()          # FIFO of items awaiting a writer
+        self._writing: set[int] = set()            # items a writer currently holds
+        self._pool: list[np.ndarray] = []          # recycled staging buffers
+        self._error: BaseException | None = None
+        self._stop = False
+        self._threads = [
+            threading.Thread(target=self._writer_loop, daemon=True,
+                             name=f"writeback-{i}")
+            for i in range(int(io_threads))
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- producer side (the vector store's eviction path) ----------------------
+
+    def put(self, item: int, data: np.ndarray) -> None:
+        """Stage ``data`` for asynchronous write-back of ``item``.
+
+        Copies ``data`` (the caller's slot is reusable immediately) and
+        returns once the copy is staged, blocking only under back-pressure.
+        """
+        item = int(item)
+        with self._cond:
+            if self._stop:
+                raise OutOfCoreError("write-behind queue is closed")
+            if item in self._staged and item not in self._writing:
+                # Coalesce: the queued (not-yet-popped) copy is superseded.
+                np.copyto(self._staged[item], data)
+                return
+            stalled = False
+            while (len(self._staged) >= self.depth
+                   and item not in self._staged) or item in self._writing:
+                # Full buffer, or an older version of this item is mid-write
+                # (staging a second concurrent copy of the same item would
+                # allow two writers to race on one offset).
+                if not stalled:
+                    stalled = True
+                    self.stats.writeback_stalls += 1
+                self._cond.wait()
+                if self._stop:
+                    raise OutOfCoreError("write-behind queue is closed")
+            if item in self._staged:  # re-check after waiting
+                np.copyto(self._staged[item], data)
+                return
+            buf = self._pool.pop() if self._pool else np.empty(
+                self.item_shape, dtype=self.dtype)
+            np.copyto(buf, data)
+            self._staged[item] = buf
+            self._order.append(item)
+            self._cond.notify_all()
+
+    def read_into(self, item: int, out: np.ndarray) -> bool:
+        """Copy the staged (newest) version of ``item`` into ``out`` if present.
+
+        Returns ``True`` on a staging hit — the caller must then *not* read
+        the backing store, whose copy may be stale.
+        """
+        with self._cond:
+            buf = self._staged.get(int(item))
+            if buf is None:
+                return False
+            np.copyto(out, buf)
+            return True
+
+    def pending(self) -> int:
+        """Number of items staged but not yet durable."""
+        with self._cond:
+            return len(self._staged)
+
+    # -- barriers ---------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every staged vector is durable; re-raise writer errors."""
+        with self._cond:
+            self._cond.notify_all()  # wake a writer parked after an error
+            while True:
+                if self._error is not None:
+                    err, self._error = self._error, None
+                    raise err
+                if not self._staged and not self._writing:
+                    return
+                self._cond.wait()
+
+    def close(self) -> None:
+        """Drain, then stop and join the writer threads."""
+        try:
+            self.drain()
+        finally:
+            with self._cond:
+                self._stop = True
+                self._cond.notify_all()
+            for t in self._threads:
+                t.join()
+
+    # -- writer side -------------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._order and not self._stop:
+                    self._cond.wait()
+                if self._stop:
+                    # close() drains before stopping, so pending entries can
+                    # only remain here after a drain that raised; abandon them.
+                    return
+                item = self._order.popleft()
+                buf = self._staged[item]
+                self._writing.add(item)
+            try:
+                self.backing.write(item, buf)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via drain()
+                with self._cond:
+                    self._writing.discard(item)
+                    self._order.append(item)  # keep the data; retry later
+                    if self._error is None:
+                        self._error = exc
+                    self._cond.notify_all()
+                    # Park until new activity so a dead backing store does
+                    # not spin the writer; drain()/put() wake us to retry.
+                    if not self._stop:
+                        self._cond.wait()
+                continue
+            with self._cond:
+                self._writing.discard(item)
+                self.stats.writeback_writes += 1
+                self.stats.writeback_bytes += self.item_bytes
+                if self._staged.get(item) is buf:
+                    del self._staged[item]
+                    if len(self._pool) < self.depth:
+                        self._pool.append(buf)
+                # else: the item was re-staged while we wrote the old copy;
+                # the newer version is still queued and drains after us.
+                self._cond.notify_all()

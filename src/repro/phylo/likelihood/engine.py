@@ -53,6 +53,17 @@ class LikelihoodEngine:
         protocol. If omitted, an :class:`AncestralVectorStore` is built from
         ``fraction`` / ``num_slots`` / ``policy`` / ``backing`` /
         ``read_skipping`` — ``fraction=1.0`` keeps every vector resident.
+    writeback_depth / io_threads:
+        Forwarded to the built store: ``writeback_depth > 0`` makes
+        evictions asynchronous (write-behind queue drained by
+        ``io_threads`` writer threads). Only valid when the engine builds
+        its own store.
+    prefetch_depth:
+        ``> 0`` attaches a :class:`~repro.core.prefetch.ThreadedPrefetcher`
+        that is fed each traversal's access sequence (the paper's §5
+        prefetch thread); reads overlap the likelihood kernels. Works with
+        an explicit ``store`` too, provided it is an
+        :class:`AncestralVectorStore`.
     dtype:
         ``float64`` (default) or ``float32`` for the single-precision mode.
     """
@@ -73,6 +84,9 @@ class LikelihoodEngine:
         track_dirty: bool = False,
         poison_skipped_reads: bool = False,
         policy_kwargs: dict | None = None,
+        writeback_depth: int = 0,
+        io_threads: int = 1,
+        prefetch_depth: int = 0,
         dtype=np.float64,
     ) -> None:
         if tree.num_tips < 3:
@@ -118,11 +132,28 @@ class LikelihoodEngine:
                 track_dirty=track_dirty,
                 poison_skipped_reads=poison_skipped_reads,
                 policy_kwargs=policy_kwargs,
+                writeback_depth=writeback_depth,
+                io_threads=io_threads,
             )
         elif fraction is not None or num_slots is not None:
             raise LikelihoodError("pass either an explicit store or a geometry, not both")
+        elif writeback_depth:
+            raise LikelihoodError(
+                "writeback_depth configures the built store; with an explicit "
+                "store, construct it with writeback_depth yourself"
+            )
         self.store = store
         self._bind_topological_policy()
+        self.prefetcher = None
+        if prefetch_depth:
+            if not isinstance(store, AncestralVectorStore):
+                raise LikelihoodError(
+                    "prefetch_depth needs an AncestralVectorStore "
+                    f"(got {type(store).__name__})"
+                )
+            from repro.core.prefetch import ThreadedPrefetcher
+
+            self.prefetcher = ThreadedPrefetcher(store, depth=prefetch_depth)
 
         # Per-site underflow-scaling counters stay in RAM (like tips, they
         # are small compared to the CLVs themselves — paper §3.1).
@@ -212,8 +243,12 @@ class LikelihoodEngine:
         vectors are fetched (pinning each other and the target), then the
         target is fetched **write-only** — the read-skipping hook — and the
         kernel fills it. Orientation is committed after each step so a
-        failure leaves a consistent state.
+        failure leaves a consistent state. With a prefetcher attached, the
+        plan's access sequence is handed to it first, so swap-ins overlap
+        the kernel arithmetic (§5).
         """
+        if self.prefetcher is not None and plan.steps:
+            self.prefetcher.feed(self.plan_accesses(plan))
         tree = self.tree
         for step in plan.steps:
             node, left, right = step.node, step.left, step.right
@@ -434,6 +469,21 @@ class LikelihoodEngine:
         from repro.phylo.likelihood.branch_opt import smooth_all_branches
 
         return smooth_all_branches(self, passes=passes, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the prefetch thread (if any) and close the store.
+
+        Drains pending write-behind traffic first, so the backing store is
+        durable when this returns.
+        """
+        if self.prefetcher is not None:
+            self.prefetcher.stop()
+            self.prefetcher = None
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
 
     # -- memory accounting --------------------------------------------------------------
 

@@ -99,6 +99,52 @@ class TestFileBacking:
         np.testing.assert_array_equal(out, data)
         s.close()
 
+    def test_non_contiguous_write_roundtrips(self, tmp_path):
+        """Satellite fix: the write path must handle any array layout and
+        must persist every byte (the old code dropped os.write's return
+        value, so a short write silently corrupted the vector)."""
+        s = FileBackingStore(tmp_path / "v.bin", 4, SHAPE)
+        base = np.random.default_rng(3).normal(size=(SHAPE[-1], SHAPE[1], SHAPE[0]))
+        data = base.T                      # non-contiguous view
+        assert not data.flags.c_contiguous
+        s.write(0, data)
+        out = np.empty(SHAPE)
+        s.read(0, out)
+        np.testing.assert_array_equal(out, data)
+        s.close()
+
+    def test_positioned_io_is_thread_safe(self, tmp_path):
+        """pread/pwrite share no seek cursor: concurrent transfers to
+        distinct items must never interleave or tear."""
+        import threading
+
+        n = 16
+        s = FileBackingStore(tmp_path / "v.bin", n, SHAPE)
+        errors = []
+
+        def worker(start):
+            try:
+                out = np.empty(SHAPE)
+                for rep in range(20):
+                    for item in range(start, n, 4):
+                        s.write(item, np.full(SHAPE, float(item)))
+                        s.read(item, out)
+                        np.testing.assert_array_equal(out, float(item))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        out = np.empty(SHAPE)
+        for item in range(n):
+            s.read(item, out)
+            np.testing.assert_array_equal(out, float(item))
+        s.close()
+
 
 class TestMultiFileBacking:
     def test_roundtrip(self, tmp_path):

@@ -65,6 +65,30 @@ class TestReadFailures:
         v = store.get(0)
         store.validate()
 
+    def test_failed_read_returns_slot_to_free_list(self):
+        """A failed swap-in must not leak the slot its victim vacated.
+
+        The victim is evicted (written out) *before* the read is attempted;
+        when the read then fails, the slot has no owner and must return to
+        the free list so capacity is preserved and the store stays usable.
+        """
+        store, flaky = make_flaky(n=8, m=3)
+        for i in range(3):
+            store.get(i, write_only=True)[:] = float(i + 1)
+        flaky.fail_reads_at = {flaky.read_calls + 1}
+        with pytest.raises(BackingStoreError, match="injected read"):
+            store.get(5)
+        store.validate()
+        assert not store.is_resident(5)
+        assert len(store._free) == 1          # the vacated slot came back
+        # the fault clears: the same item loads fine into the freed slot
+        flaky.fail_reads_at = set()
+        store.get(5)
+        assert store.is_resident(5)
+        store.validate()
+        # and the evicted victim's data survived the failed swap-in
+        np.testing.assert_array_equal(store.read_item(0), 1.0)
+
     def test_write_only_path_never_reads(self):
         store, flaky = make_flaky(fail_reads_at=set(range(1, 100)))
         # read skipping: write-only traffic must not touch the read path

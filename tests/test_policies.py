@@ -219,3 +219,56 @@ class TestVictimContract:
             for c in cands:
                 p.on_access(c, False)
             assert p.choose_victim(cands, requested=99) in cands
+
+
+class TestEvictionPruning:
+    """on_evict must drop per-item bookkeeping (satellite fix): the dicts
+    stay bounded by the resident set instead of growing over a whole
+    tree search. LFU is the documented exception — its counts define the
+    policy's Fig. 2 behaviour — but its recency stamps are pruned and its
+    count table is capped."""
+
+    def test_lru_fifo_topological_drop_evicted_items(self):
+        for policy, use_load_hook in ((LruPolicy(), False),
+                                      (FifoPolicy(), True),
+                                      (TopologicalPolicy(), False)):
+            for item in range(50):
+                if use_load_hook:
+                    policy.on_load(item)
+                else:
+                    policy.on_access(item, False)
+                if item >= 4:
+                    policy.on_evict(item - 4)
+            book = (policy._loaded_at if isinstance(policy, FifoPolicy)
+                    else policy._stamp)
+            assert len(book) == 4, policy.name
+
+    def test_lfu_retains_counts_but_prunes_stamps(self):
+        p = LfuPolicy()
+        for item in range(50):
+            p.on_access(item, False)
+            if item >= 4:
+                p.on_evict(item - 4)
+        assert len(p._count) == 50    # behaviour-defining, kept (Fig. 2)
+        assert len(p._stamp) == 4     # tie-breaker only, pruned
+
+    def test_lfu_count_table_capped(self):
+        p = LfuPolicy(max_tracked=4)
+        for _ in range(3):
+            p.on_access(0, False)
+        for _ in range(2):
+            p.on_access(1, False)
+        for item in (2, 3, 4):
+            p.on_access(item, False)
+        assert len(p._count) <= 4
+        assert 0 in p._count and 1 in p._count  # the hottest survive
+
+    def test_lfu_max_tracked_validated(self):
+        with pytest.raises(OutOfCoreError, match="max_tracked"):
+            LfuPolicy(max_tracked=0)
+
+    def test_store_bookkeeping_bounded_by_resident_set(self, rng):
+        s = AncestralVectorStore(40, SHAPE, num_slots=5, policy="lru")
+        for _ in range(500):
+            s.get(int(rng.integers(40)), write_only=True)
+        assert len(s.policy._stamp) <= 5

@@ -194,6 +194,38 @@ class TestBulkOperations:
         backing.read(0, out)
         np.testing.assert_array_equal(out, 3.5)
 
+    def test_flush_honours_track_dirty(self):
+        """Satellite fix: flush() used to write every resident even with
+        track_dirty on, defeating the clean-eviction optimization."""
+        backing = MemoryBackingStore(10, SHAPE)
+        s = make_store(n=10, m=4, backing=backing, track_dirty=True)
+        for i in range(4):
+            s.get(i, write_only=True)[:] = i
+        s.flush()                      # all dirty -> all written
+        s.stats.reset()
+        for i in range(4):
+            s.get(i)                   # hits; residents are clean now
+        s.flush()
+        assert s.stats.writes == 0
+        assert s.stats.write_skips == 4
+
+    def test_flush_force_writes_clean_residents(self):
+        """force=True is the checkpointing escape hatch: persist everything."""
+        backing = MemoryBackingStore(10, SHAPE)
+        s = make_store(n=10, m=4, backing=backing, track_dirty=True)
+        for i in range(4):
+            s.get(i, write_only=True)[:] = i + 1
+        s.flush()
+        s.stats.reset()
+        # corrupt the backing copy to prove force re-persists clean residents
+        backing.write(2, np.zeros(SHAPE))
+        s.flush(force=True)
+        assert s.stats.writes == 4
+        assert s.stats.write_skips == 0
+        out = np.empty(SHAPE)
+        backing.read(2, out)
+        np.testing.assert_array_equal(out, 3.0)
+
     def test_evict_all_empties_store(self):
         s = make_store(n=10, m=4)
         for i in range(4):
