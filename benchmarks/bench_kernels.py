@@ -22,7 +22,8 @@ RATES = RateModel.gamma(0.8, CATS)
 
 
 @pytest.fixture(scope="module")
-def operands(rng=np.random.default_rng(5)):
+def operands():
+    rng = np.random.default_rng(5)
     left = rng.uniform(0.1, 1.0, size=(PATTERNS, CATS, 4))
     right = rng.uniform(0.1, 1.0, size=(PATTERNS, CATS, 4))
     out = np.empty_like(left)

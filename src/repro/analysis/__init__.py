@@ -1,0 +1,60 @@
+"""Project-specific static analysis for the out-of-core concurrency layer.
+
+The paper's §4.1 bit-identical correctness contract rests on conventions
+that ordinary linters cannot see: which fields of the vector store are
+guarded by its lock, which :class:`~repro.core.stats.IoStats` counters
+belong to the demand stream versus the physical I/O threads, and the rule
+that ``get()`` views are only valid until the next unpinned access. This
+package machine-checks those conventions with stdlib-``ast`` analyses —
+no runtime dependencies beyond the Python standard library.
+
+Rules
+-----
+``LOCK001``
+    A field declared ``# guarded-by: <lock>`` was read or written outside
+    a ``with <recv>.<lock>:`` block (``_lock`` and ``_cond`` are treated
+    as one lock, mirroring ``Condition(self._lock)``). Helper methods that
+    run with the lock already held are annotated ``# holds: <lock>`` on
+    their ``def`` line; deliberate lock-free fast paths carry a
+    ``# lockfree-ok: <reason>`` suppression (reason required).
+``LOCK002``
+    A ``# lockfree-ok`` suppression without a reason.
+``CNT001``
+    A mutation of an :class:`IoStats` counter that is not a key of the
+    ``IoStats._counters()`` registry.
+``CNT002``
+    The stats module is internally incoherent: a dataclass counter field,
+    the ``_counters()`` registry, ``reset()`` and the counter taxonomy
+    (``DEMAND_COUNTERS`` & friends) do not agree.
+``CNT003``
+    A demand-side counter is mutated on a writer/prefetch thread's code
+    path (functions annotated ``# thread: writer|prefetch`` and everything
+    reachable from them through the intra-package call graph).
+``LEAK001``
+    A public method of a slot-arena class returns a raw ``_slots`` buffer
+    view without going through the pin/copy API (``.copy()`` or the
+    borrow-tracked view issued by ``get``).
+``DET001``
+    Use of the stdlib ``random`` module inside ``repro.core`` /
+    ``repro.phylo`` (outside ``utils``): likelihoods must be reproducible
+    from explicit seeds (see :mod:`repro.utils.rng`).
+``DET002``
+    An unseeded ``np.random.default_rng()`` (or a legacy global-state
+    ``np.random.*`` call) in the deterministic scope.
+``DET003``
+    ``time.time()`` in the deterministic scope — wall-clock reads belong
+    in :mod:`repro.utils.timing`.
+``SUP001``
+    A ``# analysis: ignore[RULE]`` suppression without a reason, or
+    naming an unknown rule.
+
+Use ``python -m repro.analysis [paths...]`` from the repo root, or the
+pytest bridge in ``tests/test_analysis_clean.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.runner import analyze_paths
+
+__all__ = ["Finding", "RULES", "analyze_paths"]

@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors. Findings print as ``path:line: RULE message`` (one per line), so
+editors and CI annotators can parse them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.findings import RULES
+from repro.analysis.runner import analyze_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant checkers for the out-of-core concurrency layer "
+                    "(lock discipline, counter registry, slot-view leaks, "
+                    "determinism).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    try:
+        findings = analyze_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repro.analysis: cannot parse: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"repro.analysis: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("repro.analysis: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Finding records and the rule registry shared by all checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rule id -> one-line description (shown by ``--list-rules``).
+RULES: dict[str, str] = {
+    "LOCK001": "guarded field accessed outside its declared lock",
+    "LOCK002": "'# lockfree-ok' suppression without a reason",
+    "CNT001": "IoStats counter mutation not present in the _counters() registry",
+    "CNT002": "stats registry / dataclass / reset() / taxonomy mismatch",
+    "CNT003": "demand-side counter mutated on a writer/prefetch thread path",
+    "LEAK001": "public method returns a raw _slots buffer view (no copy/pin)",
+    "DET001": "stdlib 'random' used in deterministic scope",
+    "DET002": "unseeded numpy RNG in deterministic scope",
+    "DET003": "time.time() in deterministic scope",
+    "SUP001": "'# analysis: ignore[...]' suppression malformed",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

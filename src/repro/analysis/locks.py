@@ -1,0 +1,147 @@
+"""LOCK001: guarded fields may only be touched with their lock held.
+
+Declarations come from ``# guarded-by: <lock>`` comments on ``self.x = ...``
+lines in ``__init__``. An access to a guarded field is legal when it is
+
+* lexically inside a ``with <recv>.<lock>:`` (or aliased ``_cond``/``_lock``)
+  block,
+* inside a function annotated ``# holds: <lock>`` on its ``def`` line
+  (the documented caller-holds-the-lock helper contract),
+* inside any ``__init__`` (the object is not yet shared), or
+* suppressed with ``# lockfree-ok: <reason>`` (applied by the runner).
+
+Receivers are resolved with :mod:`repro.analysis.typeinfo`; an access whose
+receiver class cannot be resolved is skipped — the checker prefers missing
+a violation to inventing one. ``_lock`` and ``_cond`` form one equivalence
+group, mirroring ``self._cond = threading.Condition(self._lock)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+from repro.analysis.typeinfo import ClassIndex, FuncInfo, LocalTypes
+
+#: Lock attribute names treated as one lock (Condition wraps the RLock).
+LOCK_ALIASES = frozenset({"_lock", "_cond"})
+
+
+def _lock_group(name: str) -> frozenset[str]:
+    return LOCK_ALIASES if name in LOCK_ALIASES else frozenset({name})
+
+
+def _collect_declarations(files: list[SourceFile]) -> dict[str, dict[str, str]]:
+    """``class name -> {field name -> lock name}`` from guarded-by comments."""
+    decls: dict[str, dict[str, str]] = {}
+    for sf in files:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+                    continue
+                for stmt in ast.walk(item):
+                    targets: list[ast.expr] = []
+                    if isinstance(stmt, ast.Assign):
+                        targets = list(stmt.targets)
+                    elif isinstance(stmt, ast.AnnAssign):
+                        targets = [stmt.target]
+                    else:
+                        continue
+                    lock = sf.guarded_by(stmt.lineno)
+                    if lock is None:
+                        continue
+                    for tgt in targets:
+                        if (isinstance(tgt, ast.Attribute)
+                                and isinstance(tgt.value, ast.Name)
+                                and tgt.value.id == "self"):
+                            decls.setdefault(node.name, {})[tgt.attr] = lock
+    return decls
+
+
+class _FunctionChecker:
+    def __init__(self, sf: SourceFile, func: FuncInfo, index: ClassIndex,
+                 decls: dict[str, dict[str, str]],
+                 findings: list[Finding]) -> None:
+        self.sf = sf
+        self.func = func
+        self.types = LocalTypes(index, func)
+        self.decls = decls
+        self.findings = findings
+        self.guarded_names = {f for fields in decls.values() for f in fields}
+        self.all_lock_names = set(LOCK_ALIASES) | {
+            lock for fields in decls.values() for lock in fields.values()
+        }
+
+    def run(self) -> None:
+        held: frozenset[str] = frozenset()
+        holds = self.sf.holds(self.func.node.lineno)
+        if holds is not None:
+            held = _lock_group(holds)
+        for stmt in self.func.node.body:
+            self._visit(stmt, held)
+
+    # -- recursive walk with held-lock propagation ------------------------------
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def may run long after the enclosing lock is released.
+            inner = self.sf.holds(node.lineno)
+            nested_held = _lock_group(inner) if inner is not None else frozenset()
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, nested_held)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = held
+            for item in node.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Attribute) and ctx.attr in self.all_lock_names:
+                    acquired = acquired | _lock_group(ctx.attr)
+                self._visit(ctx, held)
+            for child in node.body:
+                self._visit(child, acquired)
+            return
+        if isinstance(node, ast.Attribute) and node.attr in self.guarded_names:
+            self._check_access(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _check_access(self, node: ast.Attribute, held: frozenset[str]) -> None:
+        owner = self.types.resolve(node.value)
+        if owner is None:
+            return
+        lock = self.decls.get(owner, {}).get(node.attr)
+        if lock is None:
+            return
+        if _lock_group(lock) & held:
+            return
+        self.findings.append(Finding(
+            path=str(self.sf.path), line=node.lineno, rule="LOCK001",
+            message=(f"field '{owner}.{node.attr}' is guarded by '{lock}' but "
+                     f"accessed without it (in {self.func.qualname}); wrap in "
+                     f"'with ...{lock}:', annotate the def with '# holds: {lock}', "
+                     f"or add '# lockfree-ok: <reason>'"),
+        ))
+
+
+def check_locks(files: list[SourceFile], index: ClassIndex) -> list[Finding]:
+    decls = _collect_declarations(files)
+    if not decls:
+        return []
+    findings: list[Finding] = []
+    by_path = {str(sf.path): sf for sf in files}
+    for funcs in list(index.module_functions.values()):
+        for func in funcs:
+            sf = by_path.get(func.module_path)
+            if sf is not None:
+                _FunctionChecker(sf, func, index, decls, findings).run()
+    for info in index.classes.values():
+        for func in info.methods.values():
+            if func.name == "__init__":
+                continue  # construction precedes sharing
+            sf = by_path.get(func.module_path)
+            if sf is not None:
+                _FunctionChecker(sf, func, index, decls, findings).run()
+    return findings

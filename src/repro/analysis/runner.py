@@ -1,0 +1,95 @@
+"""File collection, checker orchestration and suppression handling."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.counters import check_counters
+from repro.analysis.determinism import check_determinism
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.leaks import check_leaks
+from repro.analysis.locks import check_locks
+from repro.analysis.source import SourceFile
+from repro.analysis.typeinfo import ClassIndex
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return out
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Run every checker over ``paths``; returns unsuppressed findings."""
+    files = [SourceFile.load(p) for p in collect_files(paths)]
+    index = ClassIndex.build([(str(sf.path), sf.tree) for sf in files])
+
+    findings: list[Finding] = []
+    findings.extend(check_locks(files, index))
+    findings.extend(check_counters(files, index))
+    findings.extend(check_leaks(files))
+    findings.extend(check_determinism(files))
+
+    findings = _apply_suppressions(files, findings)
+    findings.extend(_suppression_hygiene(files))
+    return sorted(set(findings))
+
+
+def _apply_suppressions(files: list[SourceFile],
+                        findings: list[Finding]) -> list[Finding]:
+    by_path = {str(sf.path): sf for sf in files}
+    kept: list[Finding] = []
+    for f in findings:
+        sf = by_path.get(f.path)
+        if sf is not None and _is_suppressed(sf, f):
+            continue
+        kept.append(f)
+    return kept
+
+
+def _is_suppressed(sf: SourceFile, finding: Finding) -> bool:
+    if finding.rule == "LOCK001":
+        reason = sf.lockfree_reason(finding.line)
+        if reason:  # an empty reason does NOT suppress (and raises LOCK002)
+            return True
+    directive = sf.ignore_directive(finding.line)
+    if directive is not None:
+        rules, reason = directive
+        if reason and finding.rule in rules:
+            return True
+    return False
+
+
+def _suppression_hygiene(files: list[SourceFile]) -> list[Finding]:
+    """Reasonless or malformed suppressions are findings themselves."""
+    findings: list[Finding] = []
+    for sf in files:
+        for line in sorted(sf.comments):
+            reason = sf.lockfree_reason(line)
+            if reason is not None and not reason:
+                findings.append(Finding(
+                    str(sf.path), line, "LOCK002",
+                    "'# lockfree-ok' needs a reason: "
+                    "'# lockfree-ok: <why this is safe unlocked>'",
+                ))
+            directive = sf.ignore_directive(line)
+            if directive is None:
+                continue
+            rules, why = directive
+            unknown = [r for r in rules if r not in RULES]
+            if not rules or not why or unknown:
+                detail = (f"unknown rule id(s) {unknown}" if unknown
+                          else "rule list and reason are both required")
+                findings.append(Finding(
+                    str(sf.path), line, "SUP001",
+                    f"malformed '# analysis: ignore[...]' suppression: {detail}",
+                ))
+    return findings

@@ -1,0 +1,204 @@
+"""A deliberately small type resolver for receiver-aware checks.
+
+The lock and counter checkers need to answer one question: *which class
+does this receiver expression belong to?* — e.g. ``self.store._inflight``
+inside :class:`ThreadedPrefetcher` resolves through the annotated
+``store: AncestralVectorStore`` constructor parameter. Full type inference
+is neither needed nor wanted; this resolver handles exactly the patterns
+the codebase uses and returns ``None`` for everything else (checkers then
+skip, trading completeness for zero false positives):
+
+* annotated function parameters (``store: AncestralVectorStore``), with
+  unions resolved to their first class known to the index;
+* ``self.x = <param>`` / ``self.x = Known(...)`` / annotated ``self.x``
+  assignments inside ``__init__`` (and conditional ``IfExp`` forms);
+* simple local aliases ``x = self.attr`` / ``x = Known(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FuncInfo:
+    """One function/method definition and where it lives."""
+
+    name: str
+    qualname: str            # "Class.meth" or "func"
+    cls: str | None          # owning class name, if a method
+    node: ast.FunctionDef
+    module_path: str
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: list[str]
+    methods: dict[str, FuncInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> class name
+
+
+class ClassIndex:
+    """Classes, methods, attribute types and module functions of a file set."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+        self.module_functions: dict[str, list[FuncInfo]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, trees: list[tuple[str, ast.Module]]) -> "ClassIndex":
+        index = cls()
+        for path, tree in trees:
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    index._add_class(path, node)
+                elif isinstance(node, ast.FunctionDef):
+                    info = FuncInfo(node.name, node.name, None, node, path)
+                    index.module_functions.setdefault(node.name, []).append(info)
+        # attribute types need the class set to be complete first
+        for info in index.classes.values():
+            init = info.methods.get("__init__")
+            if init is not None:
+                index._infer_attr_types(info, init.node)
+        return index
+
+    def _add_class(self, path: str, node: ast.ClassDef) -> None:
+        bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+        info = ClassInfo(node.name, bases)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                info.methods[item.name] = FuncInfo(
+                    item.name, f"{node.name}.{item.name}", node.name, item, path
+                )
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                cls_name = self._annotation_class(item.annotation)
+                if cls_name:
+                    info.attr_types[item.target.id] = cls_name
+        self.classes[node.name] = info
+
+    def _infer_attr_types(self, info: ClassInfo, init: ast.FunctionDef) -> None:
+        param_types: dict[str, str] = {}
+        args = init.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            cls_name = self._annotation_class(a.annotation)
+            if cls_name:
+                param_types[a.arg] = cls_name
+        for stmt in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    cls_name = self._annotation_class(stmt.annotation)
+                    if cls_name:
+                        info.attr_types.setdefault(target.attr, cls_name)
+            if (target is None or value is None
+                    or not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"):
+                continue
+            inferred = self._value_class(value, param_types)
+            if inferred:
+                info.attr_types[target.attr] = inferred
+
+    # -- resolution helpers -----------------------------------------------------
+
+    def _annotation_class(self, annotation: ast.expr | None) -> str | None:
+        """First class name in an annotation known to this index."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id in self.classes:
+                return node.id
+            if isinstance(node, ast.Attribute) and node.attr in self.classes:
+                return node.attr
+        return None
+
+    def _value_class(self, value: ast.expr, param_types: dict[str, str]) -> str | None:
+        """Class of a simple RHS expression (constructor call / typed name)."""
+        if isinstance(value, ast.IfExp):
+            return (self._value_class(value.body, param_types)
+                    or self._value_class(value.orelse, param_types))
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                and value.func.id in self.classes:
+            return value.func.id
+        if isinstance(value, ast.Name):
+            return param_types.get(value.id)
+        return None
+
+    def class_family(self, name: str) -> set[str]:
+        """``name`` plus every indexed class connected to it by inheritance."""
+        family = {name}
+        changed = True
+        while changed:
+            changed = False
+            for cls_name, info in self.classes.items():
+                if cls_name in family:
+                    continue
+                if family & set(info.bases):
+                    family.add(cls_name)
+                    changed = True
+            for cls_name in list(family):
+                info = self.classes.get(cls_name)
+                if info:
+                    for base in info.bases:
+                        if base in self.classes and base not in family:
+                            family.add(base)
+                            changed = True
+        return family
+
+
+class LocalTypes:
+    """Per-function local-variable types for receiver resolution."""
+
+    def __init__(self, index: ClassIndex, func: FuncInfo) -> None:
+        self.index = index
+        self.cls = func.cls
+        self.vars: dict[str, str] = {}
+        args = func.node.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            cls_name = index._annotation_class(a.annotation)
+            if cls_name:
+                self.vars[a.arg] = cls_name
+        for stmt in ast.walk(func.node):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                continue
+            inferred = self._expr_class(stmt.value)
+            if inferred:
+                self.vars[stmt.targets[0].id] = inferred
+
+    def _expr_class(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in self.index.classes:
+            return node.func.id
+        return self.resolve(node)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Class name of a receiver expression, or ``None`` if unknown."""
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return self.cls
+            return self.vars.get(node.id)
+        if isinstance(node, ast.Attribute):
+            owner = self.resolve(node.value)
+            if owner is None:
+                return None
+            info = self.index.classes.get(owner)
+            if info is None:
+                return None
+            return info.attr_types.get(node.attr)
+        return None

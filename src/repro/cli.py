@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro import __version__
 from repro.errors import ReproError
@@ -41,13 +42,11 @@ MODELS = {"JC": JC69, "JC69": JC69, "K80": K80, "HKY": HKY85, "HKY85": HKY85,
 
 
 def _read_alignment(path: str) -> Alignment:
-    text = open(path).read()
+    text = Path(path).read_text()
     stripped = text.lstrip()
     alphabet = DNA
-    if stripped.startswith(">"):
-        aln = Alignment.from_fasta(text, alphabet)
-    else:
-        aln = Alignment.from_phylip(text, alphabet)
+    aln = (Alignment.from_fasta(text, alphabet) if stripped.startswith(">")
+           else Alignment.from_phylip(text, alphabet))
     return aln
 
 
@@ -76,7 +75,7 @@ def _parse_model(spec: str, alignment: Alignment):
 
 def _tree_for(alignment: Alignment, args) -> Tree:
     if getattr(args, "tree", None):
-        tree = parse_newick(open(args.tree).read())
+        tree = parse_newick(Path(args.tree).read_text())
         order = {name: i for i, name in enumerate(alignment.names)}
         missing = [n for n in tree.names if n not in order]
         if missing:
@@ -204,7 +203,7 @@ def cmd_search(args) -> int:
     print(f"I/O            : {_report_io(engine)}")
     newick = write_newick(engine.tree)
     if args.out:
-        open(args.out, "w").write(newick + "\n")
+        Path(args.out).write_text(newick + "\n")
         print(f"tree written   : {args.out}")
     else:
         print(newick)
@@ -253,11 +252,11 @@ def cmd_simulate(args) -> int:
     rates = RateModel.gamma(args.alpha, cats) if cats else RateModel.uniform()
     alignment = simulate_alignment(tree, model, args.length, rates=rates,
                                    seed=args.seed + 1)
-    open(args.out, "w").write(alignment.to_phylip())
+    Path(args.out).write_text(alignment.to_phylip())
     print(f"alignment written: {args.out} "
           f"({alignment.num_taxa} taxa x {alignment.num_sites} sites)")
     if args.tree_out:
-        open(args.tree_out, "w").write(write_newick(tree) + "\n")
+        Path(args.tree_out).write_text(write_newick(tree) + "\n")
         print(f"true tree written: {args.tree_out}")
     mem = alignment.total_ancestral_bytes()
     print(f"ancestral vectors would need {format_bytes(mem)} "

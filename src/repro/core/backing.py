@@ -16,10 +16,13 @@ amortization argument the paper makes.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
 from typing import Protocol
+
+from numpy.typing import DTypeLike
 
 import numpy as np
 
@@ -52,7 +55,7 @@ class MemoryBackingStore:
     available RAM was sufficient to hold all vectors in memory", §4.1).
     """
 
-    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype=np.float64) -> None:
+    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype: DTypeLike = np.float64) -> None:
         self.num_items = int(num_items)
         self.item_shape = tuple(item_shape)
         self.dtype = np.dtype(dtype)
@@ -98,13 +101,15 @@ class FileBackingStore:
     """
 
     def __init__(self, path: str | os.PathLike, num_items: int,
-                 item_shape: tuple[int, ...], dtype=np.float64) -> None:
+                 item_shape: tuple[int, ...], dtype: DTypeLike = np.float64) -> None:
         self.path = os.fspath(path)
         self.num_items = int(num_items)
         self.item_shape = tuple(item_shape)
         self.dtype = np.dtype(dtype)
         self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
-        self._fh = open(self.path, "w+b", buffering=0)
+        # The handle intentionally outlives this scope (positioned I/O for
+        # the store's whole lifetime); close() / __del__ release it.
+        self._fh = open(self.path, "w+b", buffering=0)  # noqa: SIM115
         self._fh.truncate(self.num_items * self.item_bytes)
         self._fd = self._fh.fileno()
         self._closed = False
@@ -160,10 +165,8 @@ class FileBackingStore:
             self._closed = True
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
 
 class MultiFileBackingStore:
@@ -175,7 +178,7 @@ class MultiFileBackingStore:
     """
 
     def __init__(self, directory: str | os.PathLike, num_items: int,
-                 item_shape: tuple[int, ...], dtype=np.float64, num_files: int = 4) -> None:
+                 item_shape: tuple[int, ...], dtype: DTypeLike = np.float64, num_files: int = 4) -> None:
         if num_files < 1:
             raise BackingStoreError(f"need at least 1 file, got {num_files}")
         self.directory = os.fspath(directory)
@@ -227,7 +230,7 @@ class SimulatedDiskBackingStore:
     serialises every sleep. The time accounting is thread-safe.
     """
 
-    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype=np.float64,
+    def __init__(self, num_items: int, item_shape: tuple[int, ...], dtype: DTypeLike = np.float64,
                  disk: DiskModel | None = None, sleep: bool = False) -> None:
         self._inner = MemoryBackingStore(num_items, item_shape, dtype)
         self.disk = disk if disk is not None else DiskModel.hdd()

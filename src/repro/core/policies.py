@@ -23,7 +23,7 @@ current pruning step stay resident.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class RandomPolicy(ReplacementPolicy):
 
     name = "random"
 
-    def __init__(self, seed=None) -> None:
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
         self._rng = as_rng(seed)
 
     def choose_victim(self, candidates: Sequence[int], requested: int) -> int:
@@ -335,7 +335,7 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+def make_policy(name: str, **kwargs: Any) -> ReplacementPolicy:
     """Instantiate a policy by name (``random|lru|lfu|fifo|topological|belady``).
 
     ``kwargs`` are forwarded (e.g. ``seed=`` for random,

@@ -122,11 +122,14 @@ class ThreadedPrefetcher:
     def __init__(self, store: AncestralVectorStore, depth: int = 4) -> None:
         self.store = store
         self.depth = _validated_depth(depth)
-        self._schedule: list[tuple[int, tuple, bool]] = []
-        self._base = 0
-        self._deferred: set[int] = set()
-        self._last_progress = -1
-        self._stop = False
+        # All prefetcher bookkeeping is guarded by the *store's* condition
+        # variable — the thread already parks on it, and sharing the lock
+        # makes feed()/progress checks atomic with the store's maps.
+        self._schedule: list[tuple[int, tuple, bool]] = []  # guarded-by: _cond
+        self._base = 0  # guarded-by: _cond
+        self._deferred: set[int] = set()  # guarded-by: _cond
+        self._last_progress = -1  # guarded-by: _cond
+        self._stop = False  # guarded-by: _cond
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="prefetcher")
         self._thread.start()
@@ -161,7 +164,7 @@ class ThreadedPrefetcher:
 
     # -- worker ----------------------------------------------------------------
 
-    def _pick_locked(self):
+    def _pick_locked(self) -> tuple[int, set[int]] | None:  # holds: _cond
         """Next (item, protect) to load, or None. Caller holds the store lock."""
         progress = self.store.stats.requests - self._base
         if progress != self._last_progress:
@@ -185,7 +188,7 @@ class ThreadedPrefetcher:
             return it, horizon
         return None
 
-    def _run(self) -> None:
+    def _run(self) -> None:  # thread: prefetch
         store = self.store
         while True:
             with store._cond:

@@ -18,6 +18,10 @@ post-hoc trace replay could not reproduce them faithfully).
 
 from __future__ import annotations
 
+from typing import Any
+
+import numpy as np
+
 from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError, PinnedSlotError
@@ -90,7 +94,7 @@ class TeeStore:
     primary store and replaying the event against every shadow.
     """
 
-    def __init__(self, primary, shadows: list[ShadowStore]) -> None:
+    def __init__(self, primary: Any, shadows: list[ShadowStore]) -> None:
         self.primary = primary
         self.shadows = list(shadows)
         for shadow in self.shadows:
@@ -100,7 +104,8 @@ class TeeStore:
                     f"primary has {primary.num_items}"
                 )
 
-    def get(self, item: int, pins: tuple = (), write_only: bool = False):
+    def get(self, item: int, pins: tuple = (),
+            write_only: bool = False) -> np.ndarray:
         for shadow in self.shadows:
             shadow.access(item, pins=pins, write_only=write_only)
         return self.primary.get(item, pins=pins, write_only=write_only)
@@ -109,5 +114,5 @@ class TeeStore:
         """Shadow label → accumulated stats."""
         return {s.label: s.stats for s in self.shadows}
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.primary, name)

@@ -57,6 +57,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Thread-ownership taxonomy (enforced by ``python -m repro.analysis``):
+#: every :class:`IoStats` counter belongs to exactly one bucket, and code on
+#: the writer/prefetch thread paths must never mutate a demand counter.
+#:
+#: Demand counters move only on the compute thread's ``get()`` path — they
+#: describe the access trace as if the async pipeline were transparent.
+DEMAND_COUNTERS = frozenset({
+    "requests", "hits", "misses", "reads", "read_skips", "bytes_read",
+})
+#: Eviction counters are charged when a victim leaves RAM; evictions happen
+#: on whichever thread allocates the slot (compute *or* prefetch), always
+#: under the store lock, so these are legal from the prefetch path.
+EVICTION_COUNTERS = frozenset({
+    "writes", "write_skips", "bytes_written",
+})
+#: Physical ahead-of-demand traffic, moved by the prefetch machinery.
+PREFETCH_COUNTERS = frozenset({
+    "prefetch_reads", "prefetch_bytes", "prefetch_hits", "prefetch_unused",
+})
+#: Physical write-behind traffic, moved under the staging queue's lock.
+WRITEBACK_COUNTERS = frozenset({
+    "writeback_writes", "writeback_bytes", "writeback_stalls",
+    "writeback_read_hits",
+})
+
 
 @dataclass
 class IoStats:

@@ -15,8 +15,11 @@ is the disk-transfer rate.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from repro.core.backing import BackingStore
+from repro.core.policies import ReplacementPolicy
+from repro.core.stats import IoStats
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
 
@@ -74,11 +77,11 @@ class TieredVectorStore:
         num_items: int,
         item_shape: tuple[int, ...],
         *,
-        dtype=np.float64,
+        dtype: DTypeLike = np.float64,
         device_slots: int,
         host_slots: int,
-        device_policy="lru",
-        host_policy="lru",
+        device_policy: str | ReplacementPolicy = "lru",
+        host_policy: str | ReplacementPolicy = "lru",
         backing: BackingStore | None = None,
         read_skipping: bool = True,
     ) -> None:
@@ -103,18 +106,19 @@ class TieredVectorStore:
         return self.device.get(item, pins=pins, write_only=write_only)
 
     @property
-    def device_stats(self):
+    def device_stats(self) -> IoStats:
         return self.device.stats
 
     @property
-    def host_stats(self):
+    def host_stats(self) -> IoStats:
         return self.host.stats
 
     def flush(self) -> None:
         """Push all device-resident vectors down to host, then host to backing."""
-        for item in list(self.device.resident_items()):
-            slot = int(self.device._item_slot[item])
-            self.link.write(item, self.device._slots[slot])
+        for item in self.device.resident_items():
+            # read_item snapshots the newest version under the device store's
+            # lock — no reaching into its slot arena from outside.
+            self.link.write(item, self.device.read_item(item))
         self.host.flush()
 
     def close(self) -> None:

@@ -10,6 +10,9 @@ compare the paper's four strategies against the theoretical lower bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from repro.core.policies import BeladyPolicy, ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
@@ -52,15 +55,16 @@ class RecordingStoreProxy:
     everything else) to the wrapped store while appending to ``trace``.
     """
 
-    def __init__(self, store, trace: AccessTrace | None = None) -> None:
+    def __init__(self, store: Any, trace: AccessTrace | None = None) -> None:
         self._store = store
         self.trace = trace if trace is not None else AccessTrace(store.num_items)
 
-    def get(self, item: int, pins: tuple = (), write_only: bool = False):
+    def get(self, item: int, pins: tuple = (),
+            write_only: bool = False) -> np.ndarray:
         self.trace.record(item, pins, write_only)
         return self._store.get(item, pins=pins, write_only=write_only)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._store, name)
 
 

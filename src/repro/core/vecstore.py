@@ -49,19 +49,106 @@ lock — that is the whole point of the pipeline.
 from __future__ import annotations
 
 import math
+import os
 import threading
+from typing import Any, Iterable
+import weakref
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from repro.core.backing import BackingStore, MemoryBackingStore
 from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
 from repro.core.writebehind import WriteBehindQueue
-from repro.errors import OutOfCoreError, PinnedSlotError
+from repro.errors import BorrowError, OutOfCoreError, PinnedSlotError
 
 #: Smallest legal slot count: computing one ancestral vector needs it plus
 #: its two children resident simultaneously (paper: "we must ensure m ≥ 3").
 MIN_SLOTS = 3
+
+
+def _sanitize_default() -> bool:
+    """The slot-borrow sanitizer defaults on when ``REPRO_SANITIZE=1``."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class BorrowedSlotView(np.ndarray):
+    """Debug-mode slot view that detects use-after-evict.
+
+    Under the sanitizer every view handed out by
+    :meth:`AncestralVectorStore.get` is one of these instead of a plain
+    ndarray. The view remembers its slot's generation at issue time; the
+    store bumps the per-slot generation on every eviction, so any element
+    access, assignment or ufunc touching a view whose slot has since been
+    recycled raises :class:`~repro.errors.BorrowError` instead of silently
+    reading another vector's data.
+
+    Derived arrays (slices, ufunc results) are downcast to plain ndarray:
+    only the originally borrowed view is validity-checked, which keeps the
+    numerics bit-identical and the overhead local to the borrow boundary.
+    """
+
+    # Class-level defaults so instances numpy creates internally (e.g. via
+    # __array_finalize__ during slicing) are inert rather than half-tracked.
+    _borrow_generations: np.ndarray | None = None
+    _borrow_slot: int = -1
+    _borrow_expected: int = -1
+    _borrow_item: int = -1
+
+    def _borrow_check(self) -> None:
+        gens = self._borrow_generations
+        if gens is None:
+            return
+        # lockfree-ok: single aligned int64 load; the generation is bumped
+        # under the store lock strictly before the slot can be reused, so a
+        # stale read here only ever delays detection by one access.
+        if int(gens[self._borrow_slot]) != self._borrow_expected:
+            raise BorrowError(
+                f"use-after-evict: view of item {self._borrow_item} "
+                f"(slot {self._borrow_slot}) used after the slot was "
+                f"recycled; re-fetch the vector with get() or hold a pin"
+            )
+
+    def _borrow_plain(self) -> np.ndarray:
+        return self.view(np.ndarray)
+
+    def __getitem__(self, key: Any) -> Any:
+        self._borrow_check()
+        out = super().__getitem__(key)
+        if isinstance(out, BorrowedSlotView):
+            out = out.view(np.ndarray)
+        return out
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._borrow_check()
+        super().__setitem__(key, value)
+
+    def __array_ufunc__(self, ufunc: Any, method: str,
+                        *inputs: Any, **kwargs: Any) -> Any:
+        out = kwargs.get("out", ())
+        for operand in (*inputs, *out):
+            if isinstance(operand, BorrowedSlotView):
+                operand._borrow_check()
+        inputs = tuple(x._borrow_plain() if isinstance(x, BorrowedSlotView)
+                       else x for x in inputs)
+        if out:
+            kwargs["out"] = tuple(
+                x._borrow_plain() if isinstance(x, BorrowedSlotView) else x
+                for x in out)
+        return getattr(ufunc, method)(*inputs, **kwargs)
+
+    def __array_function__(self, func: Any, types: Any,
+                           args: Any, kwargs: Any) -> Any:
+        def strip(obj: Any) -> Any:
+            if isinstance(obj, BorrowedSlotView):
+                obj._borrow_check()
+                return obj._borrow_plain()
+            if isinstance(obj, (list, tuple)):
+                return type(obj)(strip(x) for x in obj)
+            return obj
+
+        return func(*strip(args), **{k: strip(v) for k, v in kwargs.items()})
 
 
 class AncestralVectorStore:
@@ -102,6 +189,11 @@ class AncestralVectorStore:
     io_threads:
         Writer threads draining the write-behind queue (ignored when
         write-behind is off).
+    sanitize:
+        Enable the debug-mode slot-borrow sanitizer: ``get`` returns
+        generation-checked :class:`BorrowedSlotView` objects that raise
+        :class:`~repro.errors.BorrowError` on use-after-evict. Defaults to
+        the ``REPRO_SANITIZE`` environment variable (``1`` = on).
     """
 
     def __init__(
@@ -109,7 +201,7 @@ class AncestralVectorStore:
         num_items: int,
         item_shape: tuple[int, ...],
         *,
-        dtype=np.float64,
+        dtype: DTypeLike = np.float64,
         num_slots: int | None = None,
         fraction: float | None = None,
         policy: str | ReplacementPolicy = "lru",
@@ -120,6 +212,7 @@ class AncestralVectorStore:
         policy_kwargs: dict | None = None,
         writeback_depth: int = 0,
         io_threads: int = 1,
+        sanitize: bool | None = None,
     ) -> None:
         if num_items < 1:
             raise OutOfCoreError(f"need at least one item, got {num_items}")
@@ -152,20 +245,29 @@ class AncestralVectorStore:
         self.stats = IoStats()
 
         # Slot arena: one contiguous block, vector i occupies slots[s] whole.
+        # The arena itself is NOT lock-guarded: a slot's data is only touched
+        # by the thread that holds it in-flight or by the compute thread while
+        # the mapping says so (see the module docstring's thread model).
         self._slots = np.zeros((self.num_slots, *self.item_shape), dtype=self.dtype)
-        self._slot_item = np.full(self.num_slots, -1, dtype=np.int64)   # item_in_mem
-        self._item_slot = np.full(self.num_items, -1, dtype=np.int64)   # itemvector
-        self._dirty = np.zeros(self.num_slots, dtype=bool)
-        self._free: list[int] = list(range(self.num_slots - 1, -1, -1))
-        self._ever_stored = np.zeros(self.num_items, dtype=bool)
+        self._slot_item = np.full(self.num_slots, -1, dtype=np.int64)   # guarded-by: _lock  (item_in_mem)
+        self._item_slot = np.full(self.num_items, -1, dtype=np.int64)   # guarded-by: _lock  (itemvector)
+        self._dirty = np.zeros(self.num_slots, dtype=bool)  # guarded-by: _lock
+        self._free: list[int] = list(range(self.num_slots - 1, -1, -1))  # guarded-by: _lock
+        self._ever_stored = np.zeros(self.num_items, dtype=bool)  # guarded-by: _lock
 
         # Async-pipeline state (see the module docstring's thread model).
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._inflight: dict[int, threading.Event] = {}
-        self._prefetched_untouched: set[int] = set()
-        self._active_pins: set[int] = set()
+        self._inflight: dict[int, threading.Event] = {}  # guarded-by: _lock
+        self._prefetched_untouched: set[int] = set()  # guarded-by: _lock
+        self._active_pins: set[int] = set()  # guarded-by: _lock
         self._writeback: WriteBehindQueue | None = None
+
+        # Slot-borrow sanitizer (debug mode, REPRO_SANITIZE=1): per-slot
+        # generation counters plus weakrefs to every live borrowed view.
+        self._sanitize = _sanitize_default() if sanitize is None else bool(sanitize)
+        self._slot_generation = np.zeros(self.num_slots, dtype=np.int64)  # guarded-by: _lock
+        self._borrows: list[weakref.ref] = []  # guarded-by: _lock
         if int(writeback_depth) > 0:
             self._writeback = WriteBehindQueue(
                 self.backing, self.item_shape, self.dtype,
@@ -187,10 +289,12 @@ class AncestralVectorStore:
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)
-        return self._item_slot[item] >= 0
+        with self._cond:
+            return bool(self._item_slot[item] >= 0)
 
     def resident_items(self) -> list[int]:
-        return [int(i) for i in self._slot_item if i >= 0]
+        with self._cond:
+            return [int(i) for i in self._slot_item if i >= 0]
 
     def ram_bytes(self) -> int:
         """Bytes the slot arena occupies — the paper's ``m · w`` budget."""
@@ -230,10 +334,10 @@ class AncestralVectorStore:
             with self._cond:
                 slot = int(self._item_slot[item])
                 ev = self._inflight.get(item)
+                if ev is None and slot >= 0:
+                    return self._account_hit(item, slot, write_only)
                 if ev is not None:
                     wait_ev = ev
-                elif slot >= 0:
-                    return self._account_hit(item, slot, write_only)
                 else:
                     self.stats.misses += 1
                     slot = self._allocate_slot(item, pins)
@@ -280,7 +384,7 @@ class AncestralVectorStore:
                 self._cond.notify_all()
                 return self._finish_load(item, slot, write_only)
 
-    def _account_hit(self, item: int, slot: int, write_only: bool) -> np.ndarray:
+    def _account_hit(self, item: int, slot: int, write_only: bool) -> np.ndarray:  # holds: _cond
         """Stats + policy bookkeeping for a request that found ``item`` resident.
 
         A first demand touch of a prefetched slot is charged as the miss
@@ -308,17 +412,36 @@ class AncestralVectorStore:
             self._dirty[slot] = True
             self._ever_stored[item] = True
         self.policy.on_access(item, write_only)
-        return self._slots[slot]
+        return self._issue_view(item, slot)
 
-    def _finish_load(self, item: int, slot: int, write_only: bool) -> np.ndarray:
+    def _finish_load(self, item: int, slot: int, write_only: bool) -> np.ndarray:  # holds: _cond
         self._dirty[slot] = False
         if write_only:
             self._dirty[slot] = True
             self._ever_stored[item] = True
         self.policy.on_access(item, write_only)
-        return self._slots[slot]
+        return self._issue_view(item, slot)
 
-    def _publish(self, item: int, slot: int) -> None:
+    def _issue_view(self, item: int, slot: int) -> np.ndarray:  # holds: _cond
+        """The ndarray handed back by ``get`` — sanitizer-wrapped in debug mode."""
+        if not self._sanitize:
+            return self._slots[slot]
+        view = self._slots[slot].view(BorrowedSlotView)
+        view._borrow_generations = self._slot_generation
+        view._borrow_slot = slot
+        view._borrow_expected = int(self._slot_generation[slot])
+        view._borrow_item = item
+        self._borrows = [r for r in self._borrows if r() is not None]
+        self._borrows.append(weakref.ref(view))
+        return view
+
+    def active_borrows(self) -> int:
+        """Live sanitizer-tracked views (0 when the sanitizer is off)."""
+        with self._cond:
+            self._borrows = [r for r in self._borrows if r() is not None]
+            return len(self._borrows)
+
+    def _publish(self, item: int, slot: int) -> None:  # holds: _cond
         self._slot_item[slot] = item
         self._item_slot[item] = slot
         self._dirty[slot] = False
@@ -345,7 +468,7 @@ class AncestralVectorStore:
             self._dirty[slot] = True
             self._ever_stored[item] = True
 
-    def _allocate_slot(self, item: int, pins: tuple) -> int:
+    def _allocate_slot(self, item: int, pins: tuple) -> int:  # holds: _cond
         if self._free:
             return self._free.pop()
         excluded = {int(p) for p in pins} | set(self._inflight)
@@ -366,7 +489,8 @@ class AncestralVectorStore:
         self._evict(victim, vslot)
         return vslot
 
-    def _evict(self, item: int, slot: int) -> None:
+    def _evict(self, item: int, slot: int) -> None:  # holds: _cond
+        self._slot_generation[slot] += 1  # invalidates outstanding borrows
         if item in self._prefetched_untouched:
             self._prefetched_untouched.discard(item)
             self.stats.prefetch_unused += 1
@@ -390,7 +514,8 @@ class AncestralVectorStore:
 
     # -- prefetch support (paper §5) -------------------------------------------------
 
-    def prefetch_load(self, item: int, protect=()) -> bool:
+    def prefetch_load(self, item: int,  # thread: prefetch
+                      protect: Iterable[int] = ()) -> bool:
         """Load ``item`` ahead of demand; best-effort, thread-safe.
 
         Allocates a slot — never stealing from ``protect``, the pins of the
@@ -440,7 +565,8 @@ class AncestralVectorStore:
             self._cond.notify_all()
         return True
 
-    def _try_allocate(self, item: int, protect) -> int | None:
+    def _try_allocate(self, item: int,  # holds: _cond
+                      protect: Iterable[int]) -> int | None:
         """Non-raising slot allocation for prefetch (``None`` = no slot)."""
         if self._free:
             return self._free.pop()
@@ -488,7 +614,7 @@ class AncestralVectorStore:
         if self._writeback is not None:
             self._writeback.drain()
 
-    def _settle(self) -> None:
+    def _settle(self) -> None:  # holds: _cond
         """Wait (under the lock) until no load is in flight."""
         while self._inflight:
             self._cond.wait()

@@ -40,7 +40,9 @@ import threading
 from collections import deque
 
 import numpy as np
+from numpy.typing import DTypeLike
 
+from repro.core.backing import BackingStore
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError
 
@@ -68,7 +70,7 @@ class WriteBehindQueue:
         counters, always under its own lock.
     """
 
-    def __init__(self, backing, item_shape: tuple[int, ...], dtype,
+    def __init__(self, backing: BackingStore, item_shape: tuple[int, ...], dtype: DTypeLike,
                  depth: int = 8, io_threads: int = 1,
                  stats: IoStats | None = None) -> None:
         if depth < 1:
@@ -83,12 +85,12 @@ class WriteBehindQueue:
         self.stats = stats if stats is not None else IoStats()
 
         self._cond = threading.Condition()
-        self._staged: dict[int, np.ndarray] = {}   # item -> newest staged copy
-        self._order: deque[int] = deque()          # FIFO of items awaiting a writer
-        self._writing: set[int] = set()            # items a writer currently holds
-        self._pool: list[np.ndarray] = []          # recycled staging buffers
-        self._error: BaseException | None = None
-        self._stop = False
+        self._staged: dict[int, np.ndarray] = {}   # guarded-by: _cond  (item -> newest staged copy)
+        self._order: deque[int] = deque()          # guarded-by: _cond  (FIFO awaiting a writer)
+        self._writing: set[int] = set()            # guarded-by: _cond  (items a writer holds)
+        self._pool: list[np.ndarray] = []          # guarded-by: _cond  (recycled staging buffers)
+        self._error: BaseException | None = None   # guarded-by: _cond
+        self._stop = False                         # guarded-by: _cond
         self._threads = [
             threading.Thread(target=self._writer_loop, daemon=True,
                              name=f"writeback-{i}")
@@ -180,7 +182,7 @@ class WriteBehindQueue:
 
     # -- writer side -------------------------------------------------------------
 
-    def _writer_loop(self) -> None:
+    def _writer_loop(self) -> None:  # thread: writer
         while True:
             with self._cond:
                 while not self._order and not self._stop:

@@ -44,6 +44,14 @@ class PinnedSlotError(OutOfCoreError):
     """No victim slot could be chosen because all candidates are pinned."""
 
 
+class BorrowError(OutOfCoreError):
+    """A slot view was used after its slot was recycled (use-after-evict).
+
+    Only raised under the debug-mode slot-borrow sanitizer
+    (``REPRO_SANITIZE=1`` or ``AncestralVectorStore(sanitize=True)``).
+    """
+
+
 class BackingStoreError(OutOfCoreError):
     """Failure in a backing store (short read/write, closed file, ...)."""
 

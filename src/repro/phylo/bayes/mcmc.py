@@ -165,12 +165,11 @@ class McmcChain:
             move.last_edge = None
             log_hastings = move.propose(engine, self._rng)
             edge = move.last_edge
-            if edge is not None and engine.tree.has_edge(*edge):
-                # Evaluate at the perturbed edge: CLV recomputation stays
-                # local (the paper's §4.2 locality source).
-                new_lnl = engine.edge_loglikelihood(*edge)
-            else:
-                new_lnl = engine.loglikelihood()
+            # Evaluate at the perturbed edge when possible: CLV recomputation
+            # stays local (the paper's §4.2 locality source).
+            new_lnl = (engine.edge_loglikelihood(*edge)
+                       if edge is not None and engine.tree.has_edge(*edge)
+                       else engine.loglikelihood())
             new_lp = self.priors.log_prior(engine)
             log_ratio = (new_lnl + new_lp) - (lnl + lp) + log_hastings
             if math.log(self._rng.random() + 1e-300) < log_ratio:

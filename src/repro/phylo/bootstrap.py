@@ -90,7 +90,7 @@ def bootstrap_support(
     rng = as_rng(seed)
     ref_splits = reference.splits()
     counts = {split: 0 for split in ref_splits}
-    for rep in range(replicates):
+    for _ in range(replicates):
         replicate = bootstrap_alignment(alignment, rng)
         tree = infer_tree(replicate, int(rng.integers(1 << 31)))
         if sorted(tree.names) != sorted(reference.names):

@@ -56,7 +56,9 @@ def optimize_branch_from_sumtable(
     """
     t = float(np.clip(t0, min_bl, max_bl))
     phi = _branch_phi(sumtable, eigenvalues, rates, cat_weights, pattern_weights, t)
-    for it in range(1, max_iter + 1):
+    it = 0
+    while it < max_iter:
+        it += 1
         _, d1, d2 = kernels.branch_lnl_and_derivatives(
             sumtable, eigenvalues, rates, cat_weights, pattern_weights, t
         )

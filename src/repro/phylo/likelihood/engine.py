@@ -170,14 +170,14 @@ class LikelihoodEngine:
     def _bind_topological_policy(self) -> None:
         """Give a Topological policy its tree-distance provider (§3.3)."""
         policy = getattr(self.store, "policy", None)
-        if policy is not None and getattr(policy, "name", "") == "topological":
-            if getattr(policy, "distance_provider", None) is None:
-                n = self.tree.num_tips
+        if (policy is not None and getattr(policy, "name", "") == "topological"
+                and getattr(policy, "distance_provider", None) is None):
+            n = self.tree.num_tips
 
-                def distances(requested_item: int) -> np.ndarray:
-                    return self.tree.hop_distances_from(n + requested_item)[n:]
+            def distances(requested_item: int) -> np.ndarray:
+                return self.tree.hop_distances_from(n + requested_item)[n:]
 
-                policy.distance_provider = distances
+            policy.distance_provider = distances
 
     def item(self, node: int) -> int:
         """Store item id of an inner node (tips have no ancestral vector)."""

@@ -51,7 +51,8 @@ def ml_search(
     history = [lnl]
     applied = evaluated = 0
     rounds = 0
-    for rounds in range(1, max_rounds + 1):
+    while rounds < max_rounds:
+        rounds += 1
         before = lnl
         spr = lazy_spr_round(engine, radius=radius, min_improvement=min_improvement)
         applied += spr.moves_applied

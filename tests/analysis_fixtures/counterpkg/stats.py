@@ -1,0 +1,21 @@
+"""Coherent mini counter registry for the counter-checker fixtures."""
+
+DEMAND_COUNTERS = frozenset({"requests", "hits"})
+PREFETCH_COUNTERS = frozenset({"prefetch_reads"})
+
+
+class IoStats:
+    requests: int = 0
+    hits: int = 0
+    prefetch_reads: int = 0
+
+    def reset(self) -> None:
+        self.requests = self.hits = 0
+        self.prefetch_reads = 0
+
+    def _counters(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "prefetch_reads": self.prefetch_reads,
+        }

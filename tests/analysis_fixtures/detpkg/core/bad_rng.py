@@ -1,0 +1,36 @@
+"""Seeded determinism violations inside the deterministic scope."""
+
+import random  # expect: DET001
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_stdlib_random() -> float:
+    return random.random()  # expect: DET001
+
+
+def bad_wall_clock() -> float:
+    return time.time()  # expect: DET003
+
+
+def bad_unseeded_rng():
+    return default_rng()  # expect: DET002
+
+
+def bad_unseeded_kwarg():
+    return np.random.default_rng(seed=None)  # expect: DET002
+
+
+def bad_global_stream() -> float:
+    return np.random.rand()  # expect: DET002
+
+
+def good_seeded_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def good_monotonic_clock() -> float:
+    # Only time.time() is banned; monotonic timing is not entropy.
+    return time.perf_counter()

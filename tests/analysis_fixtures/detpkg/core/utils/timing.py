@@ -1,0 +1,7 @@
+"""utils/ is carved out of the deterministic scope — nothing flagged here."""
+
+import time
+
+
+def wall_clock() -> float:
+    return time.time()

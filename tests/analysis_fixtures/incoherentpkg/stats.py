@@ -1,0 +1,20 @@
+"""Deliberately incoherent registry: field/registry/reset/taxonomy drift."""
+
+DEMAND_COUNTERS = frozenset({"requests", "unreset", "ghost_counter"})
+
+
+class IoStats:
+    requests: int = 0
+    hits: int = 0  # expect: CNT002 -- missing from the *_COUNTERS taxonomy
+    unreset: int = 0  # expect: CNT002 -- never zeroed by reset()
+
+    def reset(self) -> None:
+        self.requests = self.hits = 0
+
+    def _counters(self) -> dict:
+        return {  # expect: CNT002 -- taxonomy entry 'ghost_counter' is no field
+            "requests": self.requests,
+            "hits": self.hits,
+            "unreset": self.unreset,
+            "phantom": 0,  # expect: CNT002 -- registry key is no field
+        }

@@ -1,0 +1,52 @@
+"""Seeded lock-discipline violations (analyzer test fixture; never imported)."""
+
+import threading
+
+
+class Guarded:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._table: dict = {}  # guarded-by: _lock
+        self._count = 0  # guarded-by: _cond
+
+    def good_with_lock(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+    def good_with_cond_alias(self) -> int:
+        # _cond wraps _lock, so either name satisfies either declaration.
+        with self._cond:
+            self._count += 1
+            return self._count
+
+    def _helper(self):  # holds: _cond
+        return self._table.get(1)
+
+    def bad_read(self):
+        return self._table.get(0)  # expect: LOCK001
+
+    def bad_write(self) -> None:
+        self._count += 1  # expect: LOCK001
+
+    def bad_nested_def(self):
+        with self._lock:
+            def later():
+                # The closure may run after the lock is released.
+                return self._table  # expect: LOCK001
+            return later
+
+    def annotated_fast_path(self) -> int:
+        return self._count  # lockfree-ok: monotonic int read, staleness is fine
+
+
+class Client:
+    def __init__(self, guarded: Guarded) -> None:
+        self.g = guarded
+
+    def bad_external_access(self):
+        return self.g._table  # expect: LOCK001
+
+    def good_external_access(self):
+        with self.g._lock:
+            return dict(self.g._table)

@@ -1,0 +1,31 @@
+"""Suppression semantics: valid directives, LOCK002 and SUP001 hygiene."""
+
+import threading
+
+
+class Guarded:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._flag = False  # guarded-by: _lock
+
+    def suppressed_fast_path(self) -> bool:
+        return self._flag  # lockfree-ok: boolean poll, staleness acceptable
+
+    def reasonless_fast_path(self) -> bool:
+        # expect-next-line: LOCK001 LOCK002 -- no reason => no suppression
+        return self._flag  # lockfree-ok:
+
+    def generic_suppressed(self) -> bool:
+        return self._flag  # analysis: ignore[LOCK001] audited single-word read
+
+    def reasonless_directive(self) -> bool:
+        # expect-next-line: LOCK001 SUP001 -- reason is mandatory
+        return self._flag  # analysis: ignore[LOCK001]
+
+    def unknown_rule_directive(self) -> bool:
+        # expect-next-line: LOCK001 SUP001 -- BOGUS42 is not a rule
+        return self._flag  # analysis: ignore[BOGUS42] because reasons
+
+    def wrong_rule_directive(self) -> bool:
+        # expect-next-line: LOCK001 -- directive names a different rule
+        return self._flag  # analysis: ignore[DET001] not the rule that fires

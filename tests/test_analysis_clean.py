@@ -1,0 +1,18 @@
+"""Pytest bridge: the shipped source tree must satisfy its own invariants.
+
+This is the CI teeth of ``python -m repro.analysis src/repro`` — lock
+discipline, counter registry coherence and thread ownership, slot-view
+leaks, and determinism hygiene all hold on every commit.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_source_tree_is_invariant_clean():
+    findings = analyze_paths([SRC_REPRO])
+    assert not findings, "invariant violations in src/repro:\n" + "\n".join(
+        f.format() for f in findings)

@@ -125,7 +125,7 @@ class TestFileBacking:
         def worker(start):
             try:
                 out = np.empty(SHAPE)
-                for rep in range(20):
+                for _ in range(20):
                     for item in range(start, n, 4):
                         s.write(item, np.full(SHAPE, float(item)))
                         s.read(item, out)

@@ -122,7 +122,7 @@ class TestConsistencyUnderChaos:
         store = AncestralVectorStore(10, SHAPE, num_slots=4, policy="lru",
                                      backing=flaky)
         faults = 0
-        for step in range(400):
+        for _ in range(400):
             # schedule a fault on ~10% of operations
             if rng.random() < 0.1:
                 flaky.fail_reads_at = {flaky.read_calls + 1}

@@ -213,8 +213,8 @@ class TestVictimContract:
     @pytest.mark.parametrize("name", ["random", "lru", "lfu", "fifo", "clock"])
     def test_victim_always_from_candidates(self, name, rng):
         p = make_policy(name, **({"seed": 0} if name == "random" else {}))
-        for step in range(200):
-            cands = sorted(set(int(x) for x in rng.integers(0, 50, size=5)))
+        for _ in range(200):
+            cands = sorted({int(x) for x in rng.integers(0, 50, size=5)})
             p.on_load(cands[0])
             for c in cands:
                 p.on_access(c, False)

@@ -1,5 +1,6 @@
 """Unit tests for access-trace recording, replay and locality analysis."""
 
+import contextlib
 import numpy as np
 import pytest
 
@@ -58,10 +59,8 @@ class TestReplayFidelity:
             item = int(rng.integers(n))
             pins = tuple(int(x) for x in rng.choice(n, 2, replace=False)
                          if int(x) != item)
-            try:
+            with contextlib.suppress(PinnedSlotError):
                 proxy.get(item, pins=pins, write_only=bool(rng.random() < 0.3))
-            except PinnedSlotError:
-                pass
         replayed = simulate_policy_on_trace(proxy.trace, m, policy)
         assert replayed.misses == live.stats.misses
         assert replayed.reads == live.stats.reads
