@@ -41,6 +41,10 @@ class StatsSchema:
     reset_targets: set[str]
     taxonomy: dict[str, set[str]]     # frozenset name -> counter names
     registry_line: int
+    #: ``bool``-annotated public fields (e.g. ``writeback_enabled``): not
+    #: counters, so they are exempt from the registry/reset/taxonomy
+    #: coherence rules and their mutations are not CNT001.
+    flags: set[str] = field(default_factory=set)
 
     @property
     def demand(self) -> set[str]:
@@ -62,12 +66,15 @@ def parse_stats_schema(files: list[SourceFile]) -> StatsSchema | None:
 def _build_schema(sf: SourceFile, cls: ast.ClassDef,
                   methods: dict[str, ast.FunctionDef]) -> StatsSchema:
     fields: dict[str, int] = {}
+    flags: set[str] = set()
     for item in cls.body:
         if (isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
                 and not item.target.id.startswith("_")
-                and isinstance(item.annotation, ast.Name)
-                and item.annotation.id == "int"):
-            fields[item.target.id] = item.lineno
+                and isinstance(item.annotation, ast.Name)):
+            if item.annotation.id == "int":
+                fields[item.target.id] = item.lineno
+            elif item.annotation.id == "bool":
+                flags.add(item.target.id)
 
     registry: dict[str, int] = {}
     registry_line = methods["_counters"].lineno
@@ -94,6 +101,10 @@ def _build_schema(sf: SourceFile, cls: ast.ClassDef,
                 and isinstance(stmt.targets[0], ast.Name)
                 and stmt.targets[0].id.endswith("_COUNTERS")):
             continue
+        if isinstance(stmt.value, ast.Dict):
+            # A dict named *_COUNTERS (e.g. the EVENT_COUNTERS event->counter
+            # mapping, checked by EVT002) is not a thread-ownership bucket.
+            continue
         names: set[str] = set()
         for node in ast.walk(stmt.value):
             if isinstance(node, ast.Constant) and isinstance(node.value, str):
@@ -102,7 +113,7 @@ def _build_schema(sf: SourceFile, cls: ast.ClassDef,
 
     return StatsSchema(path=str(sf.path), fields=fields, registry=registry,
                        reset_targets=reset_targets, taxonomy=taxonomy,
-                       registry_line=registry_line)
+                       registry_line=registry_line, flags=flags)
 
 
 def _schema_coherence(schema: StatsSchema) -> list[Finding]:
@@ -247,6 +258,8 @@ def check_counters(files: list[SourceFile], index: ClassIndex) -> list[Finding]:
     funcs = _all_functions(index)
     mutations = _counter_mutations(files, index, funcs)
     for mut in mutations:
+        if mut.counter in schema.flags:
+            continue  # bool flags (e.g. writeback_enabled) are not counters
         if mut.counter not in schema.registry and mut.counter in schema.fields:
             continue  # already reported by CNT002 on the schema side
         if mut.counter not in schema.registry:

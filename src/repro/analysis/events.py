@@ -1,0 +1,157 @@
+"""EVT001/EVT002: the event taxonomy and its sync with the counter registry.
+
+The observability layer (``repro.obs``) defines a closed event taxonomy —
+a module-level ``EVENT_TYPES`` frozenset — and the stats module maps every
+event type to the counter it mirrors via a module-level ``EVENT_COUNTERS``
+dict (``None`` for events with no single-counter equivalent). Exactly like
+the counter registry itself, the three artifacts must agree:
+
+* **EVT001** — every ``<tracer>.emit("<type>", ...)`` call site must use a
+  declared event type. A typo'd literal would silently vanish from every
+  ``by_type`` summary instead of failing.
+* **EVT002** — ``EVENT_TYPES`` and the ``EVENT_COUNTERS`` keys must be the
+  same set, and every non-``None`` mapped counter must exist in the
+  ``IoStats`` ``_counters()`` registry.
+
+Both rules are inert for code bases that define neither name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.counters import parse_stats_schema
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+EVENT_TYPES_NAME = "EVENT_TYPES"
+EVENT_COUNTERS_NAME = "EVENT_COUNTERS"
+
+
+@dataclass
+class EventSchema:
+    """Parsed taxonomy (EVENT_TYPES) and mapping (EVENT_COUNTERS)."""
+
+    types: dict[str, int] | None          # event type -> declaration line
+    types_path: str
+    types_line: int
+    mapping: dict[str, tuple[str | None, int]] | None  # key -> (counter, line)
+    mapping_path: str
+    mapping_line: int
+
+
+def _assign_value(stmt: ast.stmt, name: str) -> ast.expr | None:
+    """The value expression when ``stmt`` (ann-)assigns module global ``name``."""
+    if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name):
+        return stmt.value
+    if (isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == name and stmt.value is not None):
+        return stmt.value
+    return None
+
+
+def parse_event_schema(files: list[SourceFile]) -> EventSchema:
+    types: dict[str, int] | None = None
+    types_path, types_line = "", 0
+    mapping: dict[str, tuple[str | None, int]] | None = None
+    mapping_path, mapping_line = "", 0
+    for sf in files:
+        for stmt in sf.tree.body:
+            value = _assign_value(stmt, EVENT_TYPES_NAME)
+            if value is not None and types is None:
+                types = {}
+                types_path, types_line = str(sf.path), stmt.lineno
+                for node in ast.walk(value):
+                    if (isinstance(node, ast.Constant)
+                            and isinstance(node.value, str)):
+                        types[node.value] = node.lineno
+            value = _assign_value(stmt, EVENT_COUNTERS_NAME)
+            if (value is not None and mapping is None
+                    and isinstance(value, ast.Dict)):
+                mapping = {}
+                mapping_path, mapping_line = str(sf.path), stmt.lineno
+                for key, val in zip(value.keys, value.values):
+                    if not (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)):
+                        continue
+                    counter = None
+                    if (isinstance(val, ast.Constant)
+                            and isinstance(val.value, str)):
+                        counter = val.value
+                    mapping[key.value] = (counter, key.lineno)
+    return EventSchema(types=types, types_path=types_path,
+                       types_line=types_line, mapping=mapping,
+                       mapping_path=mapping_path, mapping_line=mapping_line)
+
+
+def _emit_call_sites(files: list[SourceFile]) -> list[tuple[str, int, str]]:
+    """``(path, line, literal)`` for every ``<recv>.emit("<literal>", ...)``."""
+    out: list[tuple[str, int, str]] = []
+    for sf in files:
+        for node in ast.walk(sf.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit" and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                out.append((str(sf.path), node.lineno, first.value))
+    return out
+
+
+def check_events(files: list[SourceFile]) -> list[Finding]:
+    schema = parse_event_schema(files)
+    if schema.types is None and schema.mapping is None:
+        return []
+    findings: list[Finding] = []
+
+    if schema.types is not None:
+        for path, line, literal in _emit_call_sites(files):
+            if literal not in schema.types:
+                findings.append(Finding(
+                    path, line, "EVT001",
+                    f"emit of undeclared event type '{literal}' (not in "
+                    f"{EVENT_TYPES_NAME} at {schema.types_path})",
+                ))
+
+    if schema.types is not None and schema.mapping is None:
+        findings.append(Finding(
+            schema.types_path, schema.types_line, "EVT002",
+            f"{EVENT_TYPES_NAME} declared but no {EVENT_COUNTERS_NAME} "
+            "mapping exists in the stats module",
+        ))
+    if schema.mapping is not None and schema.types is None:
+        findings.append(Finding(
+            schema.mapping_path, schema.mapping_line, "EVT002",
+            f"{EVENT_COUNTERS_NAME} declared but no {EVENT_TYPES_NAME} "
+            "taxonomy exists",
+        ))
+    if schema.types is None or schema.mapping is None:
+        return findings
+
+    for name in sorted(set(schema.types) - set(schema.mapping)):
+        findings.append(Finding(
+            schema.types_path, schema.types[name], "EVT002",
+            f"event type '{name}' has no {EVENT_COUNTERS_NAME} mapping",
+        ))
+    for name, (_, line) in schema.mapping.items():
+        if name not in schema.types:
+            findings.append(Finding(
+                schema.mapping_path, line, "EVT002",
+                f"{EVENT_COUNTERS_NAME} key '{name}' is not a declared "
+                f"event type",
+            ))
+
+    stats = parse_stats_schema(files)
+    if stats is not None:
+        for name, (counter, line) in schema.mapping.items():
+            if counter is not None and counter not in stats.registry:
+                findings.append(Finding(
+                    schema.mapping_path, line, "EVT002",
+                    f"event '{name}' maps to '{counter}', which is not a "
+                    f"_counters() registry key",
+                ))
+    return findings

@@ -7,6 +7,7 @@ from typing import Iterable
 
 from repro.analysis.counters import check_counters
 from repro.analysis.determinism import check_determinism
+from repro.analysis.events import check_events
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.leaks import check_leaks
 from repro.analysis.locks import check_locks
@@ -35,6 +36,7 @@ def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
     findings: list[Finding] = []
     findings.extend(check_locks(files, index))
     findings.extend(check_counters(files, index))
+    findings.extend(check_events(files))
     findings.extend(check_leaks(files))
     findings.extend(check_determinism(files))
 

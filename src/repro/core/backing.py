@@ -20,7 +20,7 @@ import contextlib
 import os
 import threading
 import time
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from numpy.typing import DTypeLike
 
@@ -28,6 +28,9 @@ import numpy as np
 
 from repro.errors import BackingStoreError
 from repro.vm.disk import DiskModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.histogram import BackingProbe
 
 
 class BackingStore(Protocol):
@@ -62,6 +65,9 @@ class MemoryBackingStore:
         self._data = np.zeros((self.num_items, *self.item_shape), dtype=self.dtype)
         self._present = np.zeros(self.num_items, dtype=bool)
         self._closed = False
+        # Observability hook (default off): latency/byte probe populated by
+        # repro.obs.Observer.attach. Reads and writes stay untimed at None.
+        self.probe: BackingProbe | None = None
 
     def _check(self, item: int) -> None:
         if self._closed:
@@ -70,13 +76,21 @@ class MemoryBackingStore:
             raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
 
     def read(self, item: int, out: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         self._check(item)
         np.copyto(out, self._data[item])
+        if probe is not None:
+            probe.record_read(time.perf_counter() - t0, out.nbytes)
 
     def write(self, item: int, data: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         self._check(item)
         np.copyto(self._data[item], data)
         self._present[item] = True
+        if probe is not None:
+            probe.record_write(time.perf_counter() - t0, data.nbytes)
 
     def has(self, item: int) -> bool:
         return bool(self._present[item])
@@ -113,6 +127,8 @@ class FileBackingStore:
         self._fh.truncate(self.num_items * self.item_bytes)
         self._fd = self._fh.fileno()
         self._closed = False
+        # Observability hook (default off), see MemoryBackingStore.probe.
+        self.probe: BackingProbe | None = None
 
     def _offset(self, item: int) -> int:
         if self._closed:
@@ -126,6 +142,8 @@ class FileBackingStore:
             raise BackingStoreError(
                 f"read buffer mismatch: {out.nbytes} bytes vs item width {self.item_bytes}"
             )
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         offset = self._offset(item)
         view = memoryview(out.reshape(-1).view(np.uint8))
         done = 0
@@ -136,6 +154,8 @@ class FileBackingStore:
                     f"short read for item {item}: {done}/{self.item_bytes} bytes"
                 )
             done += got
+        if probe is not None:
+            probe.record_read(time.perf_counter() - t0, self.item_bytes)
 
     def write(self, item: int, data: np.ndarray) -> None:
         if data.dtype != self.dtype or not data.flags.c_contiguous:
@@ -144,6 +164,8 @@ class FileBackingStore:
             raise BackingStoreError(
                 f"write buffer mismatch: {data.nbytes} bytes vs item width {self.item_bytes}"
             )
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         offset = self._offset(item)
         view = memoryview(data.reshape(-1).view(np.uint8))
         done = 0
@@ -154,6 +176,8 @@ class FileBackingStore:
                     f"short write for item {item}: {done}/{self.item_bytes} bytes"
                 )
             done += put
+        if probe is not None:
+            probe.record_write(time.perf_counter() - t0, self.item_bytes)
 
     def flush(self) -> None:
         if not self._closed:
@@ -193,6 +217,9 @@ class MultiFileBackingStore:
             )
             for f in range(num_files)
         ]
+        # Observability hook (default off): timed around the whole striped
+        # transfer; the per-stripe child stores keep their probes at None.
+        self.probe: BackingProbe | None = None
 
     def _locate(self, item: int) -> tuple[FileBackingStore, int]:
         if not 0 <= item < self.num_items:
@@ -200,12 +227,20 @@ class MultiFileBackingStore:
         return self._files[item % self.num_files], item // self.num_files
 
     def read(self, item: int, out: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         fh, local = self._locate(item)
         fh.read(local, out)
+        if probe is not None:
+            probe.record_read(time.perf_counter() - t0, out.nbytes)
 
     def write(self, item: int, data: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         fh, local = self._locate(item)
         fh.write(local, data)
+        if probe is not None:
+            probe.record_write(time.perf_counter() - t0, data.nbytes)
 
     def close(self) -> None:
         for fh in self._files:
@@ -239,6 +274,9 @@ class SimulatedDiskBackingStore:
         self.num_items = self._inner.num_items
         self.item_bytes = int(np.prod(item_shape)) * np.dtype(dtype).itemsize
         self._time_lock = threading.Lock()
+        # Observability hook (default off): with sleep=True the histogram
+        # reflects the modelled device latency; without it, the RAM copy.
+        self.probe: BackingProbe | None = None
 
     def _charge(self) -> None:
         cost = self.disk.transfer_time(self.item_bytes, sequential=True)
@@ -248,12 +286,20 @@ class SimulatedDiskBackingStore:
             time.sleep(cost)
 
     def read(self, item: int, out: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         self._inner.read(item, out)
         self._charge()
+        if probe is not None:
+            probe.record_read(time.perf_counter() - t0, out.nbytes)
 
     def write(self, item: int, data: np.ndarray) -> None:
+        probe = self.probe
+        t0 = time.perf_counter() if probe is not None else 0.0
         self._inner.write(item, data)
         self._charge()
+        if probe is not None:
+            probe.record_write(time.perf_counter() - t0, data.nbytes)
 
     def close(self) -> None:
         self._inner.close()

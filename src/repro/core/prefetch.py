@@ -203,6 +203,11 @@ class ThreadedPrefetcher:
                     store._cond.wait(timeout=0.1)
             item, horizon = target
             if not store.prefetch_load(item, protect=horizon):
+                tr = store._tracer
+                if tr is not None:
+                    # The prefetch pipeline stalled: no evictable slot (or a
+                    # racing demand load) kept this item out of RAM.
+                    tr.emit("stall", item=item)
                 with store._cond:
                     # No slot (or a racing demand load): retry only after
                     # demand progresses, so we never busy-spin.

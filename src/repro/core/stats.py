@@ -82,6 +82,28 @@ WRITEBACK_COUNTERS = frozenset({
     "writeback_read_hits",
 })
 
+#: Event-taxonomy ↔ counter-registry mapping. Every event type emitted by
+#: the :class:`repro.obs.tracer.Tracer` instrumentation maps to the counter
+#: it mirrors (``None`` for events with no single-counter equivalent:
+#: ``evict`` splits into writes/write_skips, ``writeback_enqueue`` is the
+#: staging step before the drain, ``stall`` covers both back-pressure
+#: blocks and deferred prefetches). ``python -m repro.analysis`` enforces
+#: that this mapping, :data:`repro.obs.tracer.EVENT_TYPES` and the counter
+#: registry stay in sync (rules EVT001/EVT002).
+EVENT_COUNTERS: dict[str, str | None] = {
+    "get": "requests",
+    "hit": "hits",
+    "miss": "misses",
+    "demand_read": "reads",
+    "read_skip": "read_skips",
+    "evict": None,
+    "prefetch_issue": "prefetch_reads",
+    "prefetch_hit": "prefetch_hits",
+    "writeback_enqueue": None,
+    "writeback_drain": "writeback_writes",
+    "stall": None,
+}
+
 
 @dataclass
 class IoStats:
@@ -104,6 +126,12 @@ class IoStats:
     writeback_bytes: int = 0   #: bytes physically drained by the writer thread
     writeback_stalls: int = 0  #: evictions blocked on a full staging buffer
     writeback_read_hits: int = 0  #: reads served from the staging buffer
+    #: Set by :class:`~repro.core.writebehind.WriteBehindQueue` on
+    #: construction. A flag rather than a counter: :attr:`physical_writes`
+    #: must report the drained count for *any* write-behind run — including
+    #: one whose drains fully coalesced to zero or have not happened yet —
+    #: so it cannot be inferred from ``writeback_writes`` being non-zero.
+    writeback_enabled: bool = False
     _snapshots: dict = field(default_factory=dict, repr=False)
 
     # -- derived rates (paper's metrics) ----------------------------------------
@@ -151,9 +179,11 @@ class IoStats:
         """Writes that actually hit the backing store.
 
         Equals :attr:`writes` on the synchronous path; with write-behind it
-        is the drained count (coalescing can make it smaller).
+        is the drained count (coalescing can make it smaller — possibly all
+        the way to zero, which is why this keys on :attr:`writeback_enabled`
+        rather than on the drain counter being truthy).
         """
-        return self.writeback_writes if self.writeback_writes else self.writes
+        return self.writeback_writes if self.writeback_enabled else self.writes
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -180,6 +210,7 @@ class IoStats:
         out = IoStats()
         for key, value in cur.items():
             setattr(out, key, value - base[key])
+        out.writeback_enabled = self.writeback_enabled
         return out
 
     def _counters(self) -> dict:

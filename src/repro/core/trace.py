@@ -74,6 +74,7 @@ def simulate_policy_on_trace(
     policy: str | ReplacementPolicy,
     *,
     read_skipping: bool = True,
+    track_dirty: bool = False,
     policy_kwargs: dict | None = None,
 ) -> IoStats:
     """Replay a trace against a policy, counting misses/reads — no data moves.
@@ -83,6 +84,14 @@ def simulate_policy_on_trace(
     rates match a real run with the same policy; it is simply ~100× faster,
     which lets benchmarks sweep many (policy, m) points on one recorded
     workload. Belady's policy is fed the future item sequence automatically.
+
+    ``track_dirty`` mirrors the store option of the same name: a clean
+    victim (never written since its load) is charged to ``write_skips``
+    instead of ``writes``, exactly like
+    :meth:`AncestralVectorStore._evict`. Without it, *every* eviction
+    counts one write — the paper's behaviour, which always swaps the full
+    vector out. Counter parity against a live store run with the same
+    configuration is asserted in ``tests/test_trace.py``.
     """
     if num_slots < 1:
         raise OutOfCoreError(f"need at least one slot, got {num_slots}")
@@ -93,11 +102,14 @@ def simulate_policy_on_trace(
 
     stats = IoStats()
     resident: set[int] = set()
+    dirty: set[int] = set()  # residents written since load (track_dirty model)
     free = num_slots
     for ev in trace.events:
         stats.requests += 1
         if ev.item in resident:
             stats.hits += 1
+            if ev.write_only:
+                dirty.add(ev.item)
         else:
             stats.misses += 1
             if free > 0:
@@ -111,16 +123,49 @@ def simulate_policy_on_trace(
                     )
                 victim = int(policy.choose_victim(candidates, ev.item))
                 resident.discard(victim)
+                if track_dirty and victim not in dirty:
+                    stats.write_skips += 1
+                else:
+                    stats.writes += 1
+                dirty.discard(victim)
                 policy.on_evict(victim)
-                stats.writes += 1
             if ev.write_only and read_skipping:
                 stats.read_skips += 1
             else:
                 stats.reads += 1
             resident.add(ev.item)
+            # The store's load path marks a write-only load dirty and any
+            # other load clean (_finish_load); mirror that here.
+            if ev.write_only:
+                dirty.add(ev.item)
+            else:
+                dirty.discard(ev.item)
             policy.on_load(ev.item)
         policy.on_access(ev.item, ev.write_only)
     return stats
+
+
+class _FenwickTree:
+    """Binary indexed tree over 0-based positions: point add, prefix sum."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, pos: int, delta: int) -> None:
+        pos += 1
+        while pos <= self._size:
+            self._tree[pos] += delta
+            pos += pos & -pos
+
+    def prefix(self, pos: int) -> int:
+        """Sum over positions ``0..pos`` inclusive (0 for ``pos < 0``)."""
+        pos += 1
+        total = 0
+        while pos > 0:
+            total += self._tree[pos]
+            pos -= pos & -pos
+        return total
 
 
 def reuse_distance_profile(trace: AccessTrace) -> list[int]:
@@ -129,20 +174,26 @@ def reuse_distance_profile(trace: AccessTrace) -> list[int]:
     The classic locality fingerprint: the miss rate of an LRU cache with
     ``m`` slots equals the fraction of accesses with reuse distance ≥ m.
     Used to characterize *why* PLF workloads behave so well (paper §4.2).
+
+    The distance of an access is the number of *distinct* items touched
+    since the previous access to the same item. Computed in O(n log n)
+    with a Fenwick tree holding one mark at each item's last-access time:
+    the distance is then the mark count strictly between the previous
+    access and now (Bennett & Kruskal's classic algorithm).
     """
-    stack: list[int] = []
+    n = len(trace.events)
+    marks = _FenwickTree(n)
+    last: dict[int, int] = {}  # item -> time of its most recent access
     out: list[int] = []
-    pos: dict[int, int] = {}
-    for ev in trace.events:
-        if ev.item in pos:
-            idx = stack.index(ev.item)  # distance from the top
-            depth = len(stack) - 1 - idx
-            out.append(depth)
-            stack.pop(idx)
-        else:
+    for t, ev in enumerate(trace.events):
+        prev = last.get(ev.item)
+        if prev is None:
             out.append(-1)
-        stack.append(ev.item)
-        pos[ev.item] = len(stack) - 1
+        else:
+            out.append(marks.prefix(t - 1) - marks.prefix(prev))
+            marks.add(prev, -1)
+        marks.add(t, 1)
+        last[ev.item] = t
     return out
 
 

@@ -51,7 +51,8 @@ from __future__ import annotations
 import math
 import os
 import threading
-from typing import Any, Iterable
+import time
+from typing import TYPE_CHECKING, Any, Iterable
 import weakref
 
 import numpy as np
@@ -62,6 +63,9 @@ from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
 from repro.core.writebehind import WriteBehindQueue
 from repro.errors import BorrowError, OutOfCoreError, PinnedSlotError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.tracer import Tracer
 
 #: Smallest legal slot count: computing one ancestral vector needs it plus
 #: its two children resident simultaneously (paper: "we must ensure m ≥ 3").
@@ -194,6 +198,12 @@ class AncestralVectorStore:
         generation-checked :class:`BorrowedSlotView` objects that raise
         :class:`~repro.errors.BorrowError` on use-after-evict. Defaults to
         the ``REPRO_SANITIZE`` environment variable (``1`` = on).
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` receiving one structured
+        event per store transition (get/hit/miss/evict/...). Purely
+        passive: attaching a tracer changes no allocation, eviction or
+        counter decision. ``None`` (default) compiles every emission site
+        down to a single ``is None`` test.
     """
 
     def __init__(
@@ -213,6 +223,7 @@ class AncestralVectorStore:
         writeback_depth: int = 0,
         io_threads: int = 1,
         sanitize: bool | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if num_items < 1:
             raise OutOfCoreError(f"need at least one item, got {num_items}")
@@ -268,12 +279,19 @@ class AncestralVectorStore:
         self._sanitize = _sanitize_default() if sanitize is None else bool(sanitize)
         self._slot_generation = np.zeros(self.num_slots, dtype=np.int64)  # guarded-by: _lock
         self._borrows: list[weakref.ref] = []  # guarded-by: _lock
+        # Observability hook (default off). Written only from the compute
+        # thread via attach_tracer; emissions themselves are lock-free
+        # (the tracer's ring append is GIL-atomic), so reading the
+        # reference without the lock from the prefetch path is safe.
+        self._tracer: Tracer | None = None
         if int(writeback_depth) > 0:
             self._writeback = WriteBehindQueue(
                 self.backing, self.item_shape, self.dtype,
                 depth=int(writeback_depth), io_threads=int(io_threads),
                 stats=self.stats,
             )
+        if tracer is not None:
+            self.attach_tracer(tracer)
 
     # -- introspection -----------------------------------------------------------
 
@@ -286,6 +304,22 @@ class AncestralVectorStore:
     def writeback(self) -> WriteBehindQueue | None:
         """The write-behind queue, or ``None`` when evictions are synchronous."""
         return self._writeback
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The attached event tracer, or ``None`` when tracing is off."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Attach (or with ``None`` detach) a structured event tracer.
+
+        Propagates to the write-behind queue so enqueue/drain/stall events
+        land in the same ring. Call from the compute thread only, ideally
+        before the workload starts.
+        """
+        self._tracer = tracer
+        if self._writeback is not None:
+            self._writeback.tracer = tracer
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)
@@ -324,8 +358,11 @@ class AncestralVectorStore:
         self._check_item(item)
         for p in pins:
             self._check_item(p)
+        tr = self._tracer
         with self._cond:
             self.stats.requests += 1
+            if tr is not None:
+                tr.emit("get", item=item)
             self._active_pins = {item, *(int(p) for p in pins)}
             self._cond.notify_all()  # progress signal for a prefetch thread
 
@@ -341,8 +378,12 @@ class AncestralVectorStore:
                 else:
                     self.stats.misses += 1
                     slot = self._allocate_slot(item, pins)
+                    if tr is not None:
+                        tr.emit("miss", item=item, slot=slot)
                     if write_only and self.read_skipping:
                         self.stats.read_skips += 1
+                        if tr is not None:
+                            tr.emit("read_skip", item=item, slot=slot)
                         if self.poison_skipped_reads:
                             self._slots[slot].fill(np.nan)
                         self._publish(item, slot)
@@ -358,6 +399,7 @@ class AncestralVectorStore:
                 wait_ev.wait()
                 continue
             try:
+                read_t0 = time.perf_counter() if tr is not None else 0.0
                 from_staging = self._read_into_slot(item, slot)
             except Exception:
                 # Return the already-vacated slot to the free list so a
@@ -375,6 +417,9 @@ class AncestralVectorStore:
             with self._cond:
                 self.stats.reads += 1
                 self.stats.bytes_read += self.item_bytes
+                if tr is not None:
+                    tr.emit("demand_read", item=item, slot=slot,
+                            dur=time.perf_counter() - read_t0)
                 if from_staging:
                     self.stats.writeback_read_hits += 1
                 self.policy.on_load(item)
@@ -392,22 +437,34 @@ class AncestralVectorStore:
         that it would have been without prefetch (see ``repro.core.stats``),
         so the Fig. 2–4 demand metrics are independent of prefetching.
         """
+        tr = self._tracer
         if item in self._prefetched_untouched:
             self._prefetched_untouched.discard(item)
             self.stats.misses += 1
+            if tr is not None:
+                tr.emit("miss", item=item, slot=slot)
             if write_only and self.read_skipping:
                 # Without prefetch this miss would have skipped its read
                 # (§3.4) — the prefetched bytes were wasted, not a hit.
                 self.stats.read_skips += 1
                 self.stats.prefetch_unused += 1
+                if tr is not None:
+                    tr.emit("read_skip", item=item, slot=slot)
                 if self.poison_skipped_reads:
                     self._slots[slot].fill(np.nan)
             else:
                 self.stats.reads += 1
                 self.stats.bytes_read += self.item_bytes
                 self.stats.prefetch_hits += 1
+                if tr is not None:
+                    # dur=0: the physical read already happened at
+                    # prefetch_issue time; this records the demand charge.
+                    tr.emit("demand_read", item=item, slot=slot)
+                    tr.emit("prefetch_hit", item=item, slot=slot)
         else:
             self.stats.hits += 1
+            if tr is not None:
+                tr.emit("hit", item=item, slot=slot)
         if write_only:
             self._dirty[slot] = True
             self._ever_stored[item] = True
@@ -491,6 +548,8 @@ class AncestralVectorStore:
 
     def _evict(self, item: int, slot: int) -> None:  # holds: _cond
         self._slot_generation[slot] += 1  # invalidates outstanding borrows
+        if self._tracer is not None:
+            self._tracer.emit("evict", item=item, slot=slot)
         if item in self._prefetched_untouched:
             self._prefetched_untouched.discard(item)
             self.stats.prefetch_unused += 1
@@ -539,7 +598,9 @@ class AncestralVectorStore:
             self._publish(item, slot)
             ev = threading.Event()
             self._inflight[item] = ev
+        tr = self._tracer
         try:
+            read_t0 = time.perf_counter() if tr is not None else 0.0
             from_staging = self._read_into_slot(item, slot)
         except Exception:
             with self._cond:
@@ -553,6 +614,9 @@ class AncestralVectorStore:
         with self._cond:
             self.stats.prefetch_reads += 1
             self.stats.prefetch_bytes += self.item_bytes
+            if tr is not None:
+                tr.emit("prefetch_issue", item=item, slot=slot,
+                        dur=time.perf_counter() - read_t0)
             if from_staging:
                 self.stats.writeback_read_hits += 1
             self._prefetched_untouched.add(item)

@@ -37,7 +37,9 @@ may block in ``put`` while holding it without deadlock.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 from numpy.typing import DTypeLike
@@ -45,6 +47,10 @@ from numpy.typing import DTypeLike
 from repro.core.backing import BackingStore
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.histogram import LogHistogram
+    from repro.obs.tracer import Tracer
 
 
 class WriteBehindQueue:
@@ -83,6 +89,12 @@ class WriteBehindQueue:
         self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
         self.depth = int(depth)
         self.stats = stats if stats is not None else IoStats()
+        self.stats.writeback_enabled = True
+        # Observability hooks (default off): a Tracer receiving
+        # enqueue/drain/stall events and a LogHistogram of drain latencies.
+        # Set by AncestralVectorStore.attach_tracer / repro.obs.Observer.
+        self.tracer: Tracer | None = None
+        self.drain_hist: LogHistogram | None = None
 
         self._cond = threading.Condition()
         self._staged: dict[int, np.ndarray] = {}   # guarded-by: _cond  (item -> newest staged copy)
@@ -108,14 +120,18 @@ class WriteBehindQueue:
         returns once the copy is staged, blocking only under back-pressure.
         """
         item = int(item)
+        tr = self.tracer
         with self._cond:
             if self._stop:
                 raise OutOfCoreError("write-behind queue is closed")
             if item in self._staged and item not in self._writing:
                 # Coalesce: the queued (not-yet-popped) copy is superseded.
                 np.copyto(self._staged[item], data)
+                if tr is not None:
+                    tr.emit("writeback_enqueue", item=item)
                 return
             stalled = False
+            stall_t0 = 0.0
             while (len(self._staged) >= self.depth
                    and item not in self._staged) or item in self._writing:
                 # Full buffer, or an older version of this item is mid-write
@@ -123,18 +139,26 @@ class WriteBehindQueue:
                 # allow two writers to race on one offset).
                 if not stalled:
                     stalled = True
+                    stall_t0 = time.perf_counter()
                     self.stats.writeback_stalls += 1
                 self._cond.wait()
                 if self._stop:
                     raise OutOfCoreError("write-behind queue is closed")
+            if stalled and tr is not None:
+                tr.emit("stall", item=item,
+                        dur=time.perf_counter() - stall_t0)
             if item in self._staged:  # re-check after waiting
                 np.copyto(self._staged[item], data)
+                if tr is not None:
+                    tr.emit("writeback_enqueue", item=item)
                 return
             buf = self._pool.pop() if self._pool else np.empty(
                 self.item_shape, dtype=self.dtype)
             np.copyto(buf, data)
             self._staged[item] = buf
             self._order.append(item)
+            if tr is not None:
+                tr.emit("writeback_enqueue", item=item)
             self._cond.notify_all()
 
     def read_into(self, item: int, out: np.ndarray) -> bool:
@@ -194,8 +218,11 @@ class WriteBehindQueue:
                 item = self._order.popleft()
                 buf = self._staged[item]
                 self._writing.add(item)
+            tr = self.tracer
             try:
+                write_t0 = time.perf_counter()
                 self.backing.write(item, buf)
+                write_dur = time.perf_counter() - write_t0
             except BaseException as exc:  # noqa: BLE001 - surfaced via drain()
                 with self._cond:
                     self._writing.discard(item)
@@ -208,6 +235,10 @@ class WriteBehindQueue:
                     if not self._stop:
                         self._cond.wait()
                 continue
+            if self.drain_hist is not None:
+                self.drain_hist.record(write_dur)
+            if tr is not None:
+                tr.emit("writeback_drain", item=item, dur=write_dur)
             with self._cond:
                 self._writing.discard(item)
                 self.stats.writeback_writes += 1

@@ -1,0 +1,198 @@
+"""Exporters for traced runs: JSONL dumps, slot timelines, profile schema.
+
+Three consumers of :class:`~repro.obs.tracer.Tracer` output:
+
+* :func:`records_to_jsonl` — the raw event stream, one JSON object per
+  line, for ad-hoc analysis with ``jq``/pandas;
+* :func:`slot_timeline` — a slot-occupancy Gantt view reconstructed from
+  ``miss``/``prefetch_issue``/``evict`` events: which vector occupied
+  which slot over which interval;
+* :data:`PROFILE_SCHEMA` + :func:`validate_profile` — the versioned
+  ``BENCH_profile.json`` document emitted by ``python -m repro.profile``
+  and the hand-rolled validator the CI smoke job runs against it (no
+  third-party jsonschema dependency).
+
+This module must stay importable without :mod:`repro.core` — it consumes
+records and plain dicts only, so ``repro.obs`` never participates in an
+import cycle with the store it observes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+#: Version tag of the ``BENCH_profile.json`` document layout.
+PROFILE_SCHEMA = "repro-profile/1"
+
+#: Top-level keys every profile document must carry.
+_REQUIRED_TOP = (
+    "schema", "workload", "config", "phases", "counters", "histograms",
+    "events",
+)
+#: Required sub-keys of each per-phase timing entry.
+_PHASE_KEYS = ("seconds", "calls")
+#: Required sub-keys of each latency histogram.
+_HIST_KEYS = ("unit", "count", "sum", "buckets")
+#: Histogram blocks every profile must include.
+_HIST_NAMES = ("backing_read", "backing_write", "writeback_drain")
+#: Counters the §4 evaluation metrics are computed from; the profile's
+#: counter block must contain at least these.
+_COUNTER_KEYS = (
+    "requests", "hits", "misses", "reads", "read_skips",
+    "writes", "write_skips", "bytes_read", "bytes_written",
+)
+#: Required sub-keys of the event summary block.
+_EVENT_KEYS = ("emitted", "captured", "dropped", "by_type")
+
+
+def records_to_jsonl(records: Iterable[Any], path: str) -> int:
+    """Write trace records to ``path`` as JSON Lines; returns the row count.
+
+    Accepts any iterable of objects with the :class:`TraceRecord` fields
+    (``ts``/``etype``/``item``/``slot``/``dur``/``thread``).
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps({
+                "ts": rec.ts,
+                "etype": rec.etype,
+                "item": rec.item,
+                "slot": rec.slot,
+                "dur": rec.dur,
+                "thread": rec.thread,
+            }, separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def slot_timeline(records: Sequence[Any]) -> list[dict[str, Any]]:
+    """Reconstruct slot occupancy intervals from a trace.
+
+    A ``miss`` or ``prefetch_issue`` record with a valid slot opens an
+    interval (the vector moved into that slot); the matching ``evict``
+    closes it. Intervals still open at the end of the trace are closed at
+    the last observed timestamp. Returns ``[{"slot", "item", "start",
+    "end"}]`` sorted by start time.
+
+    Because the ring buffer drops its *oldest* records on overflow, a
+    truncated trace can contain evictions whose opening record was lost;
+    those are ignored rather than guessed at.
+    """
+    open_at: dict[int, tuple[int, float]] = {}  # slot -> (item, start_ts)
+    intervals: list[dict[str, Any]] = []
+    last_ts = 0.0
+    for rec in records:
+        last_ts = max(last_ts, rec.ts)
+        if rec.slot is None or rec.slot < 0:
+            continue
+        if rec.etype in ("miss", "prefetch_issue"):
+            cur = open_at.get(rec.slot)
+            # A demand miss on a prefetched slot re-reports the same
+            # occupancy (demand-transparency accounting); keep the
+            # original interval rather than splitting it.
+            if cur is not None and cur[0] == rec.item:
+                continue
+            if cur is not None:
+                # Opening record of the previous occupant's eviction was
+                # dropped by ring overflow — close it here.
+                intervals.append({"slot": rec.slot, "item": cur[0],
+                                  "start": cur[1], "end": rec.ts})
+            open_at[rec.slot] = (rec.item, rec.ts)
+        elif rec.etype == "evict":
+            cur = open_at.pop(rec.slot, None)
+            if cur is not None:
+                intervals.append({"slot": rec.slot, "item": cur[0],
+                                  "start": cur[1], "end": rec.ts})
+    for slot, (item, start) in open_at.items():
+        intervals.append({"slot": slot, "item": item,
+                          "start": start, "end": last_ts})
+    intervals.sort(key=lambda iv: (iv["start"], iv["slot"]))
+    return intervals
+
+
+def _type_name(obj: Any) -> str:
+    return type(obj).__name__
+
+
+def validate_profile(doc: Any) -> list[str]:
+    """Validate a ``BENCH_profile.json`` document; returns problem strings.
+
+    An empty list means the document conforms to :data:`PROFILE_SCHEMA`.
+    Deliberately hand-rolled: the container must not grow a jsonschema
+    dependency for one fixed layout.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {_type_name(doc)}"]
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+    if doc["schema"] != PROFILE_SCHEMA:
+        problems.append(
+            f"schema is {doc['schema']!r}, expected {PROFILE_SCHEMA!r}")
+    if not isinstance(doc["workload"], str) or not doc["workload"]:
+        problems.append("workload must be a non-empty string")
+    if not isinstance(doc["config"], dict):
+        problems.append("config must be an object")
+
+    phases = doc["phases"]
+    if not isinstance(phases, dict) or not phases:
+        problems.append("phases must be a non-empty object")
+    else:
+        for name, entry in phases.items():
+            if not isinstance(entry, dict):
+                problems.append(f"phase {name!r} must be an object")
+                continue
+            for key in _PHASE_KEYS:
+                if not isinstance(entry.get(key), (int, float)):
+                    problems.append(f"phase {name!r} missing numeric {key!r}")
+
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        problems.append("counters must be an object")
+    else:
+        for key in _COUNTER_KEYS:
+            if not isinstance(counters.get(key), int):
+                problems.append(f"counters missing integer {key!r}")
+
+    hists = doc["histograms"]
+    if not isinstance(hists, dict):
+        problems.append("histograms must be an object")
+    else:
+        for name in _HIST_NAMES:
+            hist = hists.get(name)
+            if not isinstance(hist, dict):
+                problems.append(f"missing histogram {name!r}")
+                continue
+            for key in _HIST_KEYS:
+                if key not in hist:
+                    problems.append(f"histogram {name!r} missing {key!r}")
+            buckets = hist.get("buckets")
+            if not isinstance(buckets, list):
+                problems.append(f"histogram {name!r} buckets must be a list")
+            else:
+                for idx, bucket in enumerate(buckets):
+                    if (not isinstance(bucket, dict)
+                            or not isinstance(bucket.get("le"), (int, float))
+                            or not isinstance(bucket.get("count"), int)):
+                        problems.append(
+                            f"histogram {name!r} bucket {idx} must be "
+                            "{'le': number, 'count': int}")
+                        break
+
+    events = doc["events"]
+    if not isinstance(events, dict):
+        problems.append("events must be an object")
+    else:
+        for key in _EVENT_KEYS:
+            if key not in events:
+                problems.append(f"events missing {key!r}")
+        by_type = events.get("by_type")
+        if by_type is not None and not isinstance(by_type, dict):
+            problems.append("events.by_type must be an object")
+    return problems

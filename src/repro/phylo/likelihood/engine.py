@@ -18,6 +18,8 @@ log-likelihood is bit-identical across all of these configurations
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.vecstore import AncestralVectorStore
@@ -164,6 +166,11 @@ class LikelihoodEngine:
         # exact branch length is free memory-wise and saves eigen work on
         # repeated traversals. Exact float keys keep results bit-identical.
         self._p_cache: dict[float, np.ndarray] = {}
+        # Per-phase timers (observability, default off): when a
+        # repro.utils.timing.Stopwatch is attached — normally through
+        # repro.obs.Observer — the engine accumulates "plan" / "kernel" /
+        # "store_wait" laps. Purely passive; numerics are unaffected.
+        self.timers = None
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -217,7 +224,22 @@ class LikelihoodEngine:
 
     def plan(self, u: int, v: int, full: bool = False) -> TraversalPlan:
         """Plan the CLV recomputations needed to evaluate edge ``(u, v)``."""
-        return plan_edge_traversal(self.tree, self.orientation, u, v, full)
+        tm = self.timers
+        if tm is None:
+            return plan_edge_traversal(self.tree, self.orientation, u, v, full)
+        with tm.lap("plan"):
+            return plan_edge_traversal(self.tree, self.orientation, u, v, full)
+
+    def _timed_get(self, item: int, pins: tuple = (),
+                   write_only: bool = False) -> np.ndarray:
+        """``store.get`` with the wait charged to the ``store_wait`` phase."""
+        tm = self.timers
+        if tm is None:
+            return self.store.get(item, pins=pins, write_only=write_only)
+        t0 = time.perf_counter()
+        out = self.store.get(item, pins=pins, write_only=write_only)
+        tm.add("store_wait", time.perf_counter() - t0)
+        return out
 
     def plan_accesses(self, plan: TraversalPlan) -> list[tuple[int, tuple, bool]]:
         """The store access sequence a plan will generate (for prefetching).
@@ -262,23 +284,30 @@ class LikelihoodEngine:
             if tree.is_tip(left):
                 l_codes = self._tip_codes[left]
             else:
-                l_clv = self.store.get(self.item(left),
-                                       pins=self._inner_pins([right, node]),
-                                       write_only=False)
+                l_clv = self._timed_get(self.item(left),
+                                        pins=self._inner_pins([right, node]),
+                                        write_only=False)
                 counts += self.scale_counts[self.item(left)]
             if tree.is_tip(right):
                 r_codes = self._tip_codes[right]
             else:
-                r_clv = self.store.get(self.item(right),
-                                       pins=self._inner_pins([left, node]),
-                                       write_only=False)
+                r_clv = self._timed_get(self.item(right),
+                                        pins=self._inner_pins([left, node]),
+                                        write_only=False)
                 counts += self.scale_counts[self.item(right)]
-            out = self.store.get(self.item(node),
-                                 pins=self._inner_pins([left, right]),
-                                 write_only=True)
-            kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
-                               l_codes, r_codes, self._code_matrix,
-                               counts, self.scaling)
+            out = self._timed_get(self.item(node),
+                                  pins=self._inner_pins([left, right]),
+                                  write_only=True)
+            tm = self.timers
+            if tm is None:
+                kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
+                                   l_codes, r_codes, self._code_matrix,
+                                   counts, self.scaling)
+            else:
+                with tm.lap("kernel"):
+                    kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
+                                       l_codes, r_codes, self._code_matrix,
+                                       counts, self.scaling)
             self.orientation.set(node, step.toward)
 
     # -- likelihood evaluation ----------------------------------------------------------
@@ -301,14 +330,14 @@ class LikelihoodEngine:
         if tree.is_tip(u):
             u_codes = self._tip_codes[u]
         else:
-            u_clv = self.store.get(self.item(u), pins=self._inner_pins([v]),
-                                   write_only=False)
+            u_clv = self._timed_get(self.item(u), pins=self._inner_pins([v]),
+                                    write_only=False)
             counts += self.scale_counts[self.item(u)]
         if tree.is_tip(v):
             v_codes = self._tip_codes[v]
         else:
-            v_clv = self.store.get(self.item(v), pins=self._inner_pins([u]),
-                                   write_only=False)
+            v_clv = self._timed_get(self.item(v), pins=self._inner_pins([u]),
+                                    write_only=False)
             counts += self.scale_counts[self.item(v)]
 
         site_l = kernels.edge_site_likelihoods(
@@ -340,12 +369,12 @@ class LikelihoodEngine:
         if tree.is_tip(u):
             u_codes = self._tip_codes[u]
         else:
-            u_clv = self.store.get(self.item(u), pins=self._inner_pins([v]))
+            u_clv = self._timed_get(self.item(u), pins=self._inner_pins([v]))
             counts += self.scale_counts[self.item(u)]
         if tree.is_tip(v):
             v_codes = self._tip_codes[v]
         else:
-            v_clv = self.store.get(self.item(v), pins=self._inner_pins([u]))
+            v_clv = self._timed_get(self.item(v), pins=self._inner_pins([u]))
             counts += self.scale_counts[self.item(v)]
         site_l = kernels.edge_site_likelihoods(
             self._P(u, v), self.model.frequencies.astype(self.dtype),

@@ -1,0 +1,310 @@
+"""``python -m repro.profile`` — profile an out-of-core likelihood workload.
+
+Runs one of the paper's evaluation workloads with the full observability
+stack attached (:mod:`repro.obs`: event tracer, latency histograms,
+per-phase timers) and writes a ``BENCH_profile.json`` summary:
+
+* **full** — the §4.3 benchmark mode: N full tree traversals, the
+  worst case for vector locality;
+* **search** — one lazy-SPR search round, the workload whose locality the
+  replacement strategies exploit (§4.2).
+
+The store configuration (slot fraction, policy, write-behind, prefetch,
+backing store) is fully controllable, so the same command profiles every
+point of the paper's design space. Tracing is passive by construction:
+``--check-parity`` re-runs the identical workload untraced and fails if
+any demand or eviction counter differs.
+
+Examples
+--------
+::
+
+    python -m repro.profile --workload full --fraction 0.25 --traversals 3
+    python -m repro.profile --workload search --policy lru --fraction 0.5 \\
+        --backing file --events events.jsonl --timeline timeline.json
+    python -m repro.profile --validate BENCH_profile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli import _parse_model, _read_alignment
+from repro.core.stats import DEMAND_COUNTERS, EVICTION_COUNTERS
+from repro.errors import ReproError
+from repro.obs import (
+    PROFILE_SCHEMA,
+    Observer,
+    records_to_jsonl,
+    slot_timeline,
+    validate_profile,
+)
+from repro.phylo.likelihood.engine import LikelihoodEngine
+from repro.phylo.newick import parse_newick
+
+#: Counters whose traced/untraced equality ``--check-parity`` asserts:
+#: everything describing the demand trace and the eviction stream.
+PARITY_COUNTERS = tuple(sorted(DEMAND_COUNTERS | EVICTION_COUNTERS))
+
+
+def _dataset(args):
+    """(alignment, tree) from files or the built-in simulator."""
+    if args.msa:
+        alignment = _read_alignment(args.msa)
+        if args.tree:
+            tree = parse_newick(Path(args.tree).read_text())
+        else:
+            from repro.phylo.parsimony import stepwise_addition_tree
+            tree = stepwise_addition_tree(alignment, seed=args.seed)
+        return alignment, tree
+    from repro.phylo.models import GTR
+    from repro.simulate import simulate_alignment, yule_tree
+    tree = yule_tree(args.simulate_taxa, seed=args.seed, scale=0.1)
+    alignment = simulate_alignment(tree, GTR(), args.simulate_length,
+                                   seed=args.seed + 1)
+    return alignment, tree
+
+
+def _make_backing(kind: str, num_items: int, shape, dtype, workdir: str):
+    if kind == "memory":
+        return None  # the store builds its own MemoryBackingStore
+    if kind == "file":
+        from repro.core.backing import FileBackingStore
+        return FileBackingStore(os.path.join(workdir, "vectors.bin"),
+                                num_items, shape, dtype)
+    if kind == "simulated":
+        from repro.core.backing import SimulatedDiskBackingStore
+        return SimulatedDiskBackingStore(num_items, shape, dtype)
+    raise ReproError(f"unknown backing store kind {kind!r}")
+
+
+def _build_engine(alignment, tree, args, workdir: str) -> LikelihoodEngine:
+    model, rates = _parse_model(args.model, alignment)
+    probe = LikelihoodEngine(tree.copy(), alignment, model, rates)
+    backing = _make_backing(args.backing, probe.num_inner, probe.clv_shape,
+                            probe.dtype, workdir)
+    del probe
+    policy_kwargs = {"seed": args.seed} if args.policy == "random" else None
+    return LikelihoodEngine(
+        tree.copy(), alignment, model, rates,
+        fraction=args.fraction,
+        policy=args.policy,
+        policy_kwargs=policy_kwargs,
+        backing=backing,
+        writeback_depth=args.writeback_depth,
+        io_threads=args.io_threads,
+        prefetch_depth=args.prefetch_depth,
+    )
+
+
+def _run_workload(engine: LikelihoodEngine, args) -> float:
+    if args.workload == "full":
+        return engine.full_traversals(args.traversals)
+    from repro.phylo.search import lazy_spr_round
+    return lazy_spr_round(engine, radius=args.radius).lnl
+
+
+def _counters_block(engine: LikelihoodEngine) -> dict:
+    stats = engine.stats
+    row = stats.as_row()
+    row["physical_reads"] = stats.physical_reads
+    row["physical_writes"] = stats.physical_writes
+    row["writeback_enabled"] = stats.writeback_enabled
+    return row
+
+
+def _config_block(args, engine: LikelihoodEngine) -> dict:
+    return {
+        "fraction": engine.store.num_slots / engine.num_inner,
+        "num_slots": engine.store.num_slots,
+        "num_items": engine.num_inner,
+        "policy": args.policy,
+        "backing": args.backing,
+        "writeback_depth": args.writeback_depth,
+        "io_threads": args.io_threads,
+        "prefetch_depth": args.prefetch_depth,
+        "model": args.model,
+        "seed": args.seed,
+        "dataset": args.msa or
+            f"simulated({args.simulate_taxa}x{args.simulate_length})",
+    }
+
+
+def _parity_check(alignment, tree, args, workdir: str,
+                  traced: dict) -> list[str]:
+    """Re-run untraced; return mismatch descriptions (empty = parity holds)."""
+    engine = _build_engine(alignment, tree, args, workdir)
+    try:
+        _run_workload(engine, args)
+        engine.store.drain()
+        bare = _counters_block(engine)
+    finally:
+        engine.close()
+    problems = []
+    for key in PARITY_COUNTERS:
+        if traced[key] != bare[key]:
+            problems.append(
+                f"counter {key!r}: traced={traced[key]} untraced={bare[key]}")
+    return problems
+
+
+def run_profile(args) -> int:
+    if args.check_parity and args.prefetch_depth:
+        # A prefetch thread's policy touches depend on scheduling, so two
+        # runs can evict different victims regardless of tracing; the
+        # parity assertion is only meaningful for deterministic configs.
+        print("error: --check-parity requires --prefetch-depth 0 "
+              "(prefetch victim choice is timing-dependent)", file=sys.stderr)
+        return 2
+    alignment, tree = _dataset(args)
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as workdir:
+        obs = Observer(capacity=args.trace_capacity)
+        engine = _build_engine(alignment, tree, args, workdir)
+        obs.attach(engine)
+        try:
+            t0 = time.perf_counter()
+            lnl = _run_workload(engine, args)
+            engine.store.drain()
+            wall = time.perf_counter() - t0
+            counters = _counters_block(engine)
+        finally:
+            engine.close()
+
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "workload": args.workload,
+            "config": _config_block(args, engine),
+            "log_likelihood": lnl,
+            "wall_seconds": wall,
+            "phases": obs.phase_totals(),
+            "counters": counters,
+            "histograms": obs.histograms(),
+            "events": obs.event_summary(),
+        }
+        problems = validate_profile(doc)
+        if problems:  # a bug in this module, not in the caller's input
+            for p in problems:
+                print(f"internal schema violation: {p}", file=sys.stderr)
+            return 1
+
+        out = Path(args.out)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"profile written : {out}")
+        print(f"workload        : {args.workload} (lnL {lnl:.4f}, "
+              f"{wall:.3f}s wall)")
+        for phase, entry in doc["phases"].items():
+            print(f"phase {phase:>10}: {entry['seconds']:.4f}s "
+                  f"over {int(entry['calls'])} laps")
+        ev = doc["events"]
+        print(f"events          : {ev['emitted']} emitted, "
+              f"{ev['captured']} captured, {ev['dropped']} dropped")
+
+        if args.events:
+            n = records_to_jsonl(obs.tracer.records(), args.events)
+            print(f"event dump      : {args.events} ({n} records)")
+        if args.timeline:
+            intervals = slot_timeline(obs.tracer.records())
+            Path(args.timeline).write_text(
+                json.dumps(intervals, indent=2) + "\n")
+            print(f"slot timeline   : {args.timeline} "
+                  f"({len(intervals)} intervals)")
+
+        if args.check_parity:
+            mismatches = _parity_check(alignment, tree, args, workdir,
+                                       counters)
+            if mismatches:
+                for m in mismatches:
+                    print(f"parity FAILED: {m}", file=sys.stderr)
+                return 1
+            print(f"parity          : OK ({len(PARITY_COUNTERS)} demand/"
+                  "eviction counters bit-identical untraced)")
+    return 0
+
+
+def run_validate(path: str) -> int:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read profile {path}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_profile(doc)
+    if problems:
+        for p in problems:
+            print(f"{path}: {p}")
+        print(f"{len(problems)} schema problem(s)", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {doc['schema']} profile")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.profile",
+        description="Profile an out-of-core PLF workload with the repro.obs "
+                    "observability stack and emit BENCH_profile.json",
+    )
+    parser.add_argument("--validate", metavar="PATH",
+                        help="validate an existing profile document and exit")
+    parser.add_argument("-s", "--msa", help="alignment file (FASTA/PHYLIP); "
+                        "omit to use the built-in simulator")
+    parser.add_argument("-t", "--tree", help="Newick tree file")
+    parser.add_argument("--simulate-taxa", type=int, default=24,
+                        help="taxa for the simulated dataset (default: 24)")
+    parser.add_argument("--simulate-length", type=int, default=300,
+                        help="sites for the simulated dataset (default: 300)")
+    parser.add_argument("-m", "--model", default="GTR+G")
+    parser.add_argument("--workload", choices=["full", "search"],
+                        default="full",
+                        help="full: -f z traversals (§4.3); search: one lazy "
+                             "SPR round (default: full)")
+    parser.add_argument("-N", "--traversals", type=int, default=3,
+                        help="full traversals for --workload full")
+    parser.add_argument("--radius", type=int, default=3,
+                        help="SPR radius for --workload search")
+    parser.add_argument("--fraction", type=float, default=0.25,
+                        help="fraction f of vectors held in RAM (paper §3.2)")
+    parser.add_argument("--policy", default="lru",
+                        choices=["random", "lru", "lfu", "fifo", "clock",
+                                 "topological"])
+    parser.add_argument("--backing", default="memory",
+                        choices=["memory", "file", "simulated"],
+                        help="backing store for evicted vectors")
+    parser.add_argument("--writeback-depth", type=int, default=0)
+    parser.add_argument("--io-threads", type=int, default=1)
+    parser.add_argument("--prefetch-depth", type=int, default=0)
+    parser.add_argument("--trace-capacity", type=int, default=1 << 16,
+                        help="event ring-buffer capacity (oldest records "
+                             "drop beyond this; default: 65536)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("-o", "--out", default="BENCH_profile.json",
+                        help="profile output path (default: "
+                             "BENCH_profile.json)")
+    parser.add_argument("--events", metavar="PATH",
+                        help="also dump the raw event stream as JSONL")
+    parser.add_argument("--timeline", metavar="PATH",
+                        help="also write the slot-occupancy timeline (JSON)")
+    parser.add_argument("--check-parity", action="store_true",
+                        help="re-run untraced and fail unless all demand/"
+                             "eviction counters are bit-identical")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        return run_validate(args.validate)
+    try:
+        return run_profile(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

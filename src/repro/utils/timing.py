@@ -17,15 +17,21 @@ class Stopwatch:
 
     def __init__(self) -> None:
         self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
 
     def lap(self, name: str) -> "_Lap":
         return _Lap(self, name)
 
     def add(self, name: str, seconds: float) -> None:
         self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
 
     def total(self, name: str) -> float:
         return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """How many laps have been accumulated under ``name``."""
+        return self._counts.get(name, 0)
 
     def totals(self) -> dict[str, float]:
         return dict(self._totals)

@@ -1,0 +1,18 @@
+"""Fixture: event taxonomy with a type missing its counter mapping."""
+
+
+EVENT_TYPES = frozenset({
+    "get",
+    "hit",
+    "phantom",  # expect: EVT002 -- declared but absent from EVENT_COUNTERS
+})
+
+
+class Tracer:
+    def emit(self, etype, item=-1):
+        pass
+
+
+def probe(tracer):
+    tracer.emit("get")
+    tracer.emit("warp", item=3)  # expect: EVT001 -- not in EVENT_TYPES

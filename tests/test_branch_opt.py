@@ -62,6 +62,49 @@ class TestNumericalCore:
         )
         assert MIN_BRANCH_LENGTH <= t_opt <= MAX_BRANCH_LENGTH
 
+    def _pathological(self):
+        """A sumtable where g(t) = 2e^{-t} - 0.5 goes negative for t > ln 4.
+
+        Starting the optimizer in that region makes the derivative kernel
+        return ``(g, nan, nan)`` — the numerical-zero sentinel.
+        """
+        table = np.array([[[-0.5, 2.0]]])
+        eigenvalues = np.array([0.0, -1.0])
+        rates = np.array([1.0])
+        weights = np.array([1.0])
+        pw = np.array([1.0])
+        return table, eigenvalues, rates, weights, pw
+
+    def test_kernel_reports_nan_on_vanishing_likelihood(self):
+        table, eigenvalues, rates, weights, pw = self._pathological()
+        g, d1, d2 = kernels.branch_lnl_and_derivatives(
+            table, eigenvalues, rates, weights, pw, 5.0
+        )
+        assert np.any(g <= 0.0)
+        assert np.isnan(d1) and np.isnan(d2)
+
+    def test_recovers_from_nan_derivatives(self):
+        """Regression for the NaN-backtracking path in the NR loop.
+
+        From t0 = 5 every site likelihood is negative, so the first
+        derivative evaluations are NaN; the optimizer must retreat (halve
+        t) back into the feasible region t < ln 4 and still converge to a
+        finite clamped optimum — never propagate NaN into the result.
+        """
+        table, eigenvalues, rates, weights, pw = self._pathological()
+        t_opt, iters = optimize_branch_from_sumtable(
+            table, eigenvalues, rates, weights, pw, t0=5.0
+        )
+        assert np.isfinite(t_opt)
+        assert MIN_BRANCH_LENGTH <= t_opt <= MAX_BRANCH_LENGTH
+        g, d1, _ = kernels.branch_lnl_and_derivatives(
+            table, eigenvalues, rates, weights, pw, t_opt
+        )
+        assert np.all(g > 0.0)  # ended inside the feasible region
+        # g is strictly decreasing in t here, so the optimum is the clamp
+        assert t_opt == pytest.approx(MIN_BRANCH_LENGTH)
+        assert iters < 64  # converged, did not just exhaust max_iter
+
 
 class TestEngineLevel:
     def test_single_branch_improves_lnl(self, engine_factory):

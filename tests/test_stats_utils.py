@@ -28,6 +28,44 @@ class TestIoStats:
         assert s.swaps == 5
         assert s.io_bytes == 500
 
+    def test_physical_writes_sync_path(self):
+        s = IoStats(writes=7)
+        assert not s.writeback_enabled
+        assert s.physical_writes == 7
+
+    def test_physical_writes_async_before_any_drain(self):
+        """Regression: write-behind enabled but nothing drained yet.
+
+        ``physical_writes`` used to key on ``writeback_writes`` being
+        non-zero, so an async store that had not drained yet (or whose
+        victims all coalesced) was misreported as having done ``writes``
+        synchronous writes. The explicit ``writeback_enabled`` flag must
+        make it report 0 physical writes instead.
+        """
+        s = IoStats(writes=7)
+        s.writeback_enabled = True
+        assert s.physical_writes == 0
+
+    def test_physical_writes_async_after_drain(self):
+        s = IoStats(writes=7, writeback_writes=3)
+        s.writeback_enabled = True
+        assert s.physical_writes == 3
+
+    def test_delta_preserves_writeback_flag(self):
+        s = IoStats(writes=4)
+        s.writeback_enabled = True
+        s.snapshot("phase")
+        s.writes = 9
+        d = s.delta("phase")
+        assert d.writeback_enabled
+        assert d.physical_writes == 0
+
+    def test_reset_preserves_writeback_flag(self):
+        s = IoStats(writes=4)
+        s.writeback_enabled = True
+        s.reset()
+        assert s.writeback_enabled
+
     def test_reset(self):
         s = IoStats(requests=5, misses=2, reads=1)
         s.reset()

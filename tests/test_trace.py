@@ -88,6 +88,51 @@ class TestReplayFidelity:
         assert without.reads == 4
         assert with_skip.misses == without.misses == 4
 
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_track_dirty_replay_matches_live_store(self, policy, rng):
+        """With ``track_dirty=True`` the replay must model write skips.
+
+        Regression: the replay used to ignore dirty tracking entirely, so
+        ``writes``/``write_skips`` never matched a ``track_dirty`` store.
+        """
+        n, m = 12, 4
+        live = AncestralVectorStore(n, SHAPE, num_slots=m, policy=policy,
+                                    track_dirty=True)
+        proxy = RecordingStoreProxy(live)
+        for _ in range(600):
+            item = int(rng.integers(n))
+            w = bool(rng.random() < 0.4)
+            v = proxy.get(item, write_only=w)
+            if w:
+                v[:] = float(item)
+        replayed = simulate_policy_on_trace(proxy.trace, m, policy,
+                                            track_dirty=True)
+        for key in ("requests", "hits", "misses", "reads", "read_skips",
+                    "writes", "write_skips"):
+            assert getattr(replayed, key) == getattr(live.stats, key), key
+
+    def test_track_dirty_replay_matches_live_engine(self, small_tree,
+                                                    small_alignment,
+                                                    small_model):
+        base = AncestralVectorStore(small_tree.num_inner,
+                                    (small_alignment.num_patterns, 4, 4),
+                                    num_slots=4, policy="lru",
+                                    track_dirty=True)
+        proxy = RecordingStoreProxy(base)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, small_model,
+                               store=proxy)
+        eng.full_traversals(2)
+        replayed = simulate_policy_on_trace(proxy.trace, 4, "lru",
+                                            track_dirty=True)
+        assert replayed.writes == base.stats.writes
+        assert replayed.write_skips == base.stats.write_skips
+
+    def test_track_dirty_off_never_skips_writes(self):
+        t = make_trace([0, 1, 2, 0, 1, 2])
+        replayed = simulate_policy_on_trace(t, 2, "lru")
+        assert replayed.write_skips == 0
+        assert replayed.writes == replayed.misses - 2  # final residents stay
+
     def test_zero_slots_rejected(self):
         with pytest.raises(OutOfCoreError, match="at least one slot"):
             simulate_policy_on_trace(make_trace([0]), 0, "lru")
@@ -111,6 +156,27 @@ class TestReuseDistances:
     def test_interleaved(self):
         # 0 1 2 0: distance of the second 0 is 2 (two distinct items between)
         assert reuse_distance_profile(make_trace([0, 1, 2, 0]))[-1] == 2
+
+    def test_matches_naive_reference(self, rng):
+        """The Fenwick-tree profile equals the quadratic textbook version."""
+        def naive(trace):
+            out, last = [], {}
+            for t, ev in enumerate(trace.events):
+                prev = last.get(ev.item)
+                if prev is None:
+                    out.append(-1)
+                else:
+                    between = {trace.events[j].item
+                               for j in range(prev + 1, t)}
+                    between.discard(ev.item)
+                    out.append(len(between))
+                last[ev.item] = t
+            return out
+
+        for _ in range(5):
+            items = [int(rng.integers(15)) for _ in range(300)]
+            trace = make_trace(items)
+            assert reuse_distance_profile(trace) == naive(trace)
 
     def test_lru_miss_curve_matches_replay(self, rng):
         items = [int(rng.integers(12)) for _ in range(400)]
