@@ -79,3 +79,53 @@ def test_fig2_policy_overhead(benchmark, ds1288, policy):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert result < 0.0
+
+
+def test_fig2_block_size_sweep(benchmark, ds1288):
+    """Sub-vector paging: miss rate and bytes-in-RAM per site-block size.
+
+    The paper's slot arena can never hold less than one whole ancestral
+    vector. A :class:`~repro.core.layout.SiteBlockLayout` lifts that
+    floor: this sweep runs the f-z workload at a slot budget of *half a
+    vector's worth of blocks* per block size, showing RAM footprints the
+    whole-vector design cannot express, while the log-likelihood stays
+    bit-identical to the in-core run (§4.1 extended to layouts).
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # analysis test: timing lives in the *_speed benches
+    incore = ds1288.engine(fraction=1.0)
+    base_lnl = incore.full_traversals(1)
+    vector_bytes = int(incore.store.item_shape[0]
+                       * incore.store.item_shape[1]
+                       * incore.store.item_shape[2]) * incore.dtype.itemsize
+    incore.close()
+
+    lines = [
+        f"dataset {ds1288.name}: full traversal, one whole vector = "
+        f"{vector_bytes} bytes",
+        f"{'block_sites':>12} | {'blocks/vec':>10} | {'slots':>5} | "
+        f"{'RAM bytes':>10} | {'of 1 vec':>8} | {'miss rate':>9}",
+    ]
+    for block_sites in (16, 32, 64):
+        engine = ds1288.engine(layout="block", block_sites=block_sites,
+                               num_slots=1, policy="lru")
+        bpn = engine.layout.blocks_per_node
+        engine.close()
+        slots = max(3, bpn // 2)
+        engine = ds1288.engine(layout="block", block_sites=block_sites,
+                               num_slots=slots, policy="lru")
+        lnl = engine.full_traversals(1)
+        assert lnl == base_lnl, (
+            f"block_sites={block_sites}: lnL must be bit-identical in-core"
+        )
+        ram = engine.store.ram_bytes()
+        assert ram < vector_bytes, (
+            f"block_sites={block_sites}: {slots} slots of {block_sites} "
+            "sites should undercut one whole vector"
+        )
+        rate = engine.stats.miss_rate
+        lines.append(
+            f"{block_sites:>12} | {bpn:>10} | {slots:>5} | {ram:>10} | "
+            f"{ram / vector_bytes:>8.2%} | {rate:>9.2%}"
+        )
+        engine.close()
+    report("fig2_block_size_sweep", lines)

@@ -26,6 +26,13 @@ from repro.core.backing import (
     MultiFileBackingStore,
     SimulatedDiskBackingStore,
 )
+from repro.core.layout import (
+    ConcatenatedLayout,
+    SiteBlockLayout,
+    StorageLayout,
+    WholeVectorLayout,
+    make_layout,
+)
 from repro.core.policies import make_policy, policy_names
 from repro.core.prefetch import Prefetcher, ThreadedPrefetcher
 from repro.core.shadow import ShadowStore, TeeStore
@@ -88,6 +95,8 @@ __all__ = [
     "p_distances", "jc69_distances", "neighbor_joining",
     # out-of-core layer
     "AncestralVectorStore", "IoStats", "make_policy", "policy_names",
+    "StorageLayout", "WholeVectorLayout", "SiteBlockLayout",
+    "ConcatenatedLayout", "make_layout",
     "MemoryBackingStore", "FileBackingStore", "MultiFileBackingStore",
     "SimulatedDiskBackingStore", "Prefetcher", "ThreadedPrefetcher",
     "WriteBehindQueue", "TieredVectorStore",

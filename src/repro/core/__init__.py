@@ -18,6 +18,16 @@ from repro.core.backing import (
     MultiFileBackingStore,
     SimulatedDiskBackingStore,
 )
+from repro.core.layout import (
+    DEFAULT_BLOCK_SITES,
+    ConcatenatedLayout,
+    PartitionLayoutView,
+    SharedStoreView,
+    SiteBlockLayout,
+    StorageLayout,
+    WholeVectorLayout,
+    make_layout,
+)
 from repro.core.policies import (
     BeladyPolicy,
     FifoPolicy,
@@ -36,6 +46,14 @@ from repro.core.vecstore import AncestralVectorStore
 __all__ = [
     "AncestralVectorStore",
     "BackingStore",
+    "StorageLayout",
+    "WholeVectorLayout",
+    "SiteBlockLayout",
+    "ConcatenatedLayout",
+    "PartitionLayoutView",
+    "SharedStoreView",
+    "make_layout",
+    "DEFAULT_BLOCK_SITES",
     "MemoryBackingStore",
     "FileBackingStore",
     "MultiFileBackingStore",

@@ -30,6 +30,7 @@ from repro.errors import BackingStoreError
 from repro.vm.disk import DiskModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.layout import StorageLayout
     from repro.obs.histogram import BackingProbe
 
 
@@ -68,6 +69,12 @@ class MemoryBackingStore:
         # Observability hook (default off): latency/byte probe populated by
         # repro.obs.Observer.attach. Reads and writes stay untimed at None.
         self.probe: BackingProbe | None = None
+
+    @classmethod
+    def from_layout(cls, layout: "StorageLayout",
+                    dtype: DTypeLike = np.float64) -> "MemoryBackingStore":
+        """Backing sized for a layout's item space (blocks, not nodes)."""
+        return cls(layout.num_items, layout.item_shape, dtype)
 
     def _check(self, item: int) -> None:
         if self._closed:
@@ -129,6 +136,15 @@ class FileBackingStore:
         self._closed = False
         # Observability hook (default off), see MemoryBackingStore.probe.
         self.probe: BackingProbe | None = None
+
+    @classmethod
+    def from_layout(cls, path: "str | os.PathLike[str]", layout: "StorageLayout",
+                    dtype: DTypeLike = np.float64) -> "FileBackingStore":
+        """Backing sized for a layout's item space; under a
+        :class:`~repro.core.layout.SiteBlockLayout` block ``(n, b)`` lives
+        at byte offset ``(n·blocks_per_node + b)·w`` with ``w`` the padded
+        block width, preserving the paper's dense single-file placement."""
+        return cls(path, layout.num_items, layout.item_shape, dtype)
 
     def _offset(self, item: int) -> int:
         if self._closed:
@@ -221,6 +237,14 @@ class MultiFileBackingStore:
         # transfer; the per-stripe child stores keep their probes at None.
         self.probe: BackingProbe | None = None
 
+    @classmethod
+    def from_layout(cls, directory: "str | os.PathLike[str]",
+                    layout: "StorageLayout", dtype: DTypeLike = np.float64,
+                    num_files: int = 4) -> "MultiFileBackingStore":
+        """Backing sized for a layout's item space (blocks stripe round-robin)."""
+        return cls(directory, layout.num_items, layout.item_shape, dtype,
+                   num_files)
+
     def _locate(self, item: int) -> tuple[FileBackingStore, int]:
         if not 0 <= item < self.num_items:
             raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
@@ -277,6 +301,18 @@ class SimulatedDiskBackingStore:
         # Observability hook (default off): with sleep=True the histogram
         # reflects the modelled device latency; without it, the RAM copy.
         self.probe: BackingProbe | None = None
+
+    @classmethod
+    def from_layout(cls, layout: "StorageLayout",
+                    dtype: DTypeLike = np.float64,
+                    disk: DiskModel | None = None,
+                    sleep: bool = False) -> "SimulatedDiskBackingStore":
+        """Backing sized for a layout's item space. Note the modelled
+        per-transfer cost shrinks with the item: site blocks amortize the
+        seek less well than whole vectors, which is exactly the trade-off
+        a block-size sweep measures."""
+        return cls(layout.num_items, layout.item_shape, dtype,
+                   disk=disk, sleep=sleep)
 
     def _charge(self) -> None:
         cost = self.disk.transfer_time(self.item_bytes, sequential=True)

@@ -213,6 +213,22 @@ class IoStats:
         out.writeback_enabled = self.writeback_enabled
         return out
 
+    @staticmethod
+    def merged(blocks: "list[IoStats] | tuple[IoStats, ...]") -> "IoStats":
+        """Element-wise sum of several stats blocks as a new block.
+
+        Used by :class:`~repro.phylo.likelihood.partitioned.PartitionedEngine`
+        to aggregate per-partition traffic; derived rates (miss/read rate)
+        then weight each partition by its request volume, exactly as a
+        single store serving the union of the traces would.
+        """
+        out = IoStats()
+        for block in blocks:
+            for key, value in block._counters().items():
+                setattr(out, key, getattr(out, key) + value)
+            out.writeback_enabled = out.writeback_enabled or block.writeback_enabled
+        return out
+
     def _counters(self) -> dict:
         return {
             "requests": self.requests,

@@ -14,14 +14,20 @@ is the disk-transfer rate.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 from numpy.typing import DTypeLike
 
 from repro.core.backing import BackingStore
+from repro.core.layout import StorageLayout
 from repro.core.policies import ReplacementPolicy
 from repro.core.stats import IoStats
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.tracer import Tracer
 
 
 class HostTierBacking:
@@ -62,6 +68,11 @@ class TieredVectorStore:
     ----------
     num_items, item_shape, dtype:
         Geometry, as for :class:`AncestralVectorStore`.
+    layout:
+        Optional :class:`~repro.core.layout.StorageLayout` shared by both
+        tiers (the same item space flows accelerator ⇄ RAM ⇄ disk, so one
+        layout instance describes all three levels). Defaults to the
+        whole-vector layout over ``num_items × item_shape``.
     device_slots:
         Capacity of the small fast tier (accelerator memory).
     host_slots:
@@ -74,9 +85,10 @@ class TieredVectorStore:
 
     def __init__(
         self,
-        num_items: int,
-        item_shape: tuple[int, ...],
+        num_items: int | None = None,
+        item_shape: tuple[int, ...] | None = None,
         *,
+        layout: StorageLayout | None = None,
         dtype: DTypeLike = np.float64,
         device_slots: int,
         host_slots: int,
@@ -91,15 +103,17 @@ class TieredVectorStore:
                 f"({host_slots}) — otherwise use a single store"
             )
         self.host = AncestralVectorStore(
-            num_items, item_shape, dtype=dtype, num_slots=host_slots,
+            num_items, item_shape, layout=layout, dtype=dtype,
+            num_slots=host_slots,
             policy=host_policy, backing=backing, read_skipping=read_skipping,
         )
         self.link = HostTierBacking(self.host)
         self.device = AncestralVectorStore(
-            num_items, item_shape, dtype=dtype, num_slots=device_slots,
+            layout=self.host.layout, dtype=dtype, num_slots=device_slots,
             policy=device_policy, backing=self.link, read_skipping=read_skipping,
         )
-        self.num_items = num_items
+        self.layout = self.host.layout
+        self.num_items = self.host.num_items
 
     def get(self, item: int, pins: tuple = (), write_only: bool = False) -> np.ndarray:
         """Fetch a vector into the device tier (promoting through the host)."""
@@ -112,6 +126,63 @@ class TieredVectorStore:
     @property
     def host_stats(self) -> IoStats:
         return self.host.stats
+
+    @property
+    def stats(self) -> IoStats:
+        """The front-door (device-tier) counters, as an engine reports them."""
+        return self.device.stats
+
+    @property
+    def backing(self) -> BackingStore | None:
+        """The bottom layer (file / simulated disk) behind the host tier."""
+        return self.host.backing
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The front-door (device-tier) replacement policy."""
+        return self.device.policy
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The attached event tracer (shared by both tiers), if any."""
+        return self.device.tracer
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Attach (or with ``None`` detach) one tracer to BOTH tiers.
+
+        Device- and host-tier transitions land in the same ring, so a
+        promotion shows up as the device-tier miss followed by the host
+        events that resolved it. Event ``item`` ids are shared (both tiers
+        address the same item space); disambiguate by thread/ordering or
+        attach separate tracers directly via ``store.device`` /
+        ``store.host`` when per-tier streams are needed.
+        """
+        self.device.attach_tracer(tracer)
+        self.host.attach_tracer(tracer)
+
+    def validate(self) -> None:
+        """Check both tiers' invariants plus the cross-tier geometry.
+
+        Raises :class:`~repro.errors.OutOfCoreError` on the first
+        violation; returns ``None`` when consistent (same contract as
+        :meth:`AncestralVectorStore.validate`).
+        """
+        self.device.validate()
+        self.host.validate()
+        if self.device.num_items != self.host.num_items:
+            raise OutOfCoreError(
+                f"tier geometry mismatch: device addresses "
+                f"{self.device.num_items} items, host {self.host.num_items}")
+        if self.device.item_shape != self.host.item_shape:
+            raise OutOfCoreError(
+                f"tier geometry mismatch: device items {self.device.item_shape}, "
+                f"host items {self.host.item_shape}")
+        if self.link.host is not self.host:
+            raise OutOfCoreError("device tier's backing does not link this host")
+        if self.device.num_slots >= self.host.num_slots:
+            raise OutOfCoreError(
+                f"tier capacity inverted: device {self.device.num_slots} >= "
+                f"host {self.host.num_slots}")
 
     def flush(self) -> None:
         """Push all device-resident vectors down to host, then host to backing."""

@@ -10,13 +10,16 @@ compare the paper's four strategies against the theoretical lower bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.policies import BeladyPolicy, ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError, PinnedSlotError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.layout import StorageLayout
 
 
 @dataclass(frozen=True)
@@ -34,6 +37,14 @@ class AccessTrace:
 
     num_items: int
     events: list[TraceEvent] = field(default_factory=list)
+    #: Layout the recorded item ids live in — block-granular traces carry
+    #: their :class:`~repro.core.layout.SiteBlockLayout` so offline analysis
+    #: can map items back to nodes/site-ranges. ``None`` for traces recorded
+    #: before the layout abstraction (item id == node id). The replay in
+    #: :func:`simulate_policy_on_trace` is deliberately layout-agnostic:
+    #: item ids are opaque to the allocation logic, so block-granular traces
+    #: replay unchanged.
+    layout: "StorageLayout | None" = None
 
     def record(self, item: int, pins: tuple = (), write_only: bool = False) -> None:
         self.events.append(TraceEvent(int(item), tuple(int(p) for p in pins), bool(write_only)))
@@ -57,7 +68,8 @@ class RecordingStoreProxy:
 
     def __init__(self, store: Any, trace: AccessTrace | None = None) -> None:
         self._store = store
-        self.trace = trace if trace is not None else AccessTrace(store.num_items)
+        self.trace = trace if trace is not None else AccessTrace(
+            store.num_items, layout=getattr(store, "layout", None))
 
     def get(self, item: int, pins: tuple = (),
             write_only: bool = False) -> np.ndarray:

@@ -59,6 +59,7 @@ import numpy as np
 from numpy.typing import DTypeLike
 
 from repro.core.backing import BackingStore, MemoryBackingStore
+from repro.core.layout import StorageLayout, WholeVectorLayout
 from repro.core.policies import ReplacementPolicy, make_policy
 from repro.core.stats import IoStats
 from repro.core.writebehind import WriteBehindQueue
@@ -161,9 +162,18 @@ class AncestralVectorStore:
     Parameters
     ----------
     num_items:
-        ``n`` — the number of logical vectors (ancestral nodes).
+        ``n`` — the number of paged items. With the default whole-vector
+        layout this is the number of logical vectors (ancestral nodes).
     item_shape:
-        Shape of one vector, e.g. ``(patterns, rates, states)``.
+        Shape of one paged item, e.g. ``(patterns, rates, states)``.
+    layout:
+        Alternative to ``num_items``/``item_shape``: a
+        :class:`~repro.core.layout.StorageLayout` from which the item
+        geometry is derived. The store itself stays item-granular — the
+        layout only fixes the geometry and travels along so consumers
+        (engines, policies, traces) can map items back to nodes. When
+        omitted, a :class:`~repro.core.layout.WholeVectorLayout` over
+        ``num_items × item_shape`` is assumed (the paper's design).
     dtype:
         ``float64`` (paper default) or ``float32`` (the single-precision
         memory halving of Berger & Stamatakis 2010).
@@ -208,9 +218,10 @@ class AncestralVectorStore:
 
     def __init__(
         self,
-        num_items: int,
-        item_shape: tuple[int, ...],
+        num_items: int | None = None,
+        item_shape: tuple[int, ...] | None = None,
         *,
+        layout: StorageLayout | None = None,
         dtype: DTypeLike = np.float64,
         num_slots: int | None = None,
         fraction: float | None = None,
@@ -225,10 +236,26 @@ class AncestralVectorStore:
         sanitize: bool | None = None,
         tracer: "Tracer | None" = None,
     ) -> None:
-        if num_items < 1:
-            raise OutOfCoreError(f"need at least one item, got {num_items}")
-        self.num_items = int(num_items)
-        self.item_shape = tuple(int(d) for d in item_shape)
+        if layout is None:
+            if num_items is None or item_shape is None:
+                raise OutOfCoreError(
+                    "pass num_items and item_shape, or a StorageLayout")
+            if num_items < 1:
+                raise OutOfCoreError(f"need at least one item, got {num_items}")
+            layout = WholeVectorLayout(int(num_items), tuple(item_shape))
+        else:
+            if num_items is not None and int(num_items) != layout.num_items:
+                raise OutOfCoreError(
+                    f"num_items={num_items} contradicts layout "
+                    f"({layout.num_items} items)")
+            if (item_shape is not None
+                    and tuple(int(d) for d in item_shape) != layout.item_shape):
+                raise OutOfCoreError(
+                    f"item_shape={tuple(item_shape)} contradicts layout "
+                    f"(items of {layout.item_shape})")
+        self.layout = layout
+        self.num_items = layout.num_items
+        self.item_shape = layout.item_shape
         self.dtype = np.dtype(dtype)
         self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
 

@@ -108,23 +108,9 @@ def optimize_branch(engine, u: int, v: int, **kwargs) -> float:
     engine.execute_plan(plan)
     engine._root_edge = (u, v)
 
-    u_clv = v_clv = None
-    u_codes = v_codes = None
-    if tree.is_tip(u):
-        u_codes = engine._tip_codes[u]
-    else:
-        u_clv = engine.store.get(engine.item(u), pins=engine._inner_pins([v]))
-    if tree.is_tip(v):
-        v_codes = engine._tip_codes[v]
-    else:
-        v_clv = engine.store.get(engine.item(v), pins=engine._inner_pins([u]))
-
-    sumtable = kernels.branch_sumtable(
-        engine.model.eigenvectors.astype(engine.dtype),
-        engine.model.inv_eigenvectors.astype(engine.dtype),
-        engine.model.frequencies.astype(engine.dtype),
-        u_clv, v_clv, u_codes, v_codes, engine._code_matrix,
-    )
+    # Blocked (layout-aware) fetch of the two end vectors; the NR loop
+    # below touches no ancestral vector at all.
+    sumtable = engine._edge_sumtable(u, v)
     t_opt, _ = optimize_branch_from_sumtable(
         sumtable,
         engine.model.eigenvalues,

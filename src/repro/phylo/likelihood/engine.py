@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.core.layout import StorageLayout, WholeVectorLayout, make_layout
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import LikelihoodError
 from repro.phylo.likelihood import kernels
@@ -34,6 +35,19 @@ from repro.phylo.models.base import ReversibleModel
 from repro.phylo.models.rates import RateModel
 from repro.phylo.msa import Alignment
 from repro.phylo.tree import Tree
+
+
+def _valid(view: np.ndarray, span: int) -> np.ndarray:
+    """The meaningful rows of a fetched block.
+
+    A ragged last block stores padding past ``span``; kernels must only
+    see the live rows. When the block is full-width the view is returned
+    untouched — under the whole-vector layout this keeps the exact
+    object the store handed out (so the slot-borrow sanitizer still
+    guards kernel accesses, and the path is bit-for-bit the pre-layout
+    one).
+    """
+    return view if span == view.shape[0] else view[:span]
 
 
 class LikelihoodEngine:
@@ -55,6 +69,14 @@ class LikelihoodEngine:
         protocol. If omitted, an :class:`AncestralVectorStore` is built from
         ``fraction`` / ``num_slots`` / ``policy`` / ``backing`` /
         ``read_skipping`` — ``fraction=1.0`` keeps every vector resident.
+    layout / block_sites:
+        Storage layout for the built store (ignored with an explicit
+        ``store``, whose own layout governs): ``"whole"`` (default — one
+        paged item per CLV, the paper's design), ``"block"`` (each CLV's
+        pattern axis split into site blocks of ``block_sites`` patterns,
+        paged independently), or a :class:`~repro.core.layout.StorageLayout`
+        instance. Kernels then run blocked over per-block slices; results
+        are bit-identical across layouts (§4.1 contract).
     writeback_depth / io_threads:
         Forwarded to the built store: ``writeback_depth > 0`` makes
         evictions asynchronous (write-behind queue drained by
@@ -80,6 +102,8 @@ class LikelihoodEngine:
         store=None,
         fraction: float | None = None,
         num_slots: int | None = None,
+        layout: str | StorageLayout = "whole",
+        block_sites: int | None = None,
         policy="lru",
         backing=None,
         read_skipping: bool = True,
@@ -122,9 +146,10 @@ class LikelihoodEngine:
         self.num_inner = tree.num_inner
 
         if store is None:
+            self.layout = make_layout(layout, self.num_inner, self.clv_shape,
+                                      block_sites=block_sites)
             store = AncestralVectorStore(
-                self.num_inner,
-                self.clv_shape,
+                layout=self.layout,
                 dtype=self.dtype,
                 fraction=fraction,
                 num_slots=num_slots,
@@ -144,6 +169,25 @@ class LikelihoodEngine:
                 "writeback_depth configures the built store; with an explicit "
                 "store, construct it with writeback_depth yourself"
             )
+        elif layout != "whole" or block_sites is not None:
+            raise LikelihoodError(
+                "layout/block_sites configure the built store; with an "
+                "explicit store, construct it over a layout yourself"
+            )
+        else:
+            # The explicit store's own layout governs; stores predating the
+            # layout abstraction (e.g. PagedStandardStore) page whole CLVs.
+            found = getattr(store, "layout", None)
+            if found is None:
+                found = WholeVectorLayout(self.num_inner, self.clv_shape)
+            elif (found.num_nodes != self.num_inner
+                    or found.node_shape != self.clv_shape):
+                raise LikelihoodError(
+                    f"store layout covers {found.num_nodes} nodes of shape "
+                    f"{found.node_shape}; this engine needs {self.num_inner} "
+                    f"of {self.clv_shape}"
+                )
+            self.layout = found
         self.store = store
         self._bind_topological_policy()
         self.prefetcher = None
@@ -175,25 +219,49 @@ class LikelihoodEngine:
     # -- wiring ---------------------------------------------------------------------
 
     def _bind_topological_policy(self) -> None:
-        """Give a Topological policy its tree-distance provider (§3.3)."""
+        """Give a Topological policy its tree-distance provider (§3.3).
+
+        The policy sees *item* ids, so node-level hop distances are mapped
+        through the layout: every block of a node inherits that node's
+        distance. ``store_item_nodes()`` spans the store's full item space
+        (global ids under a shared partitioned store), so the provider is
+        total over whatever ids the policy encounters.
+        """
         policy = getattr(self.store, "policy", None)
         if (policy is not None and getattr(policy, "name", "") == "topological"
                 and getattr(policy, "distance_provider", None) is None):
             n = self.tree.num_tips
+            item_nodes = self.layout.store_item_nodes()
 
             def distances(requested_item: int) -> np.ndarray:
-                return self.tree.hop_distances_from(n + requested_item)[n:]
+                node = int(item_nodes[requested_item])
+                d_nodes = self.tree.hop_distances_from(n + node)[n:]
+                return d_nodes[item_nodes]
 
             policy.distance_provider = distances
 
     def item(self, node: int) -> int:
-        """Store item id of an inner node (tips have no ancestral vector)."""
+        """Dense index of an inner node (tips have no ancestral vector).
+
+        This is the node-space index (the ``scale_counts`` row and, under
+        the whole-vector layout, also the store item id); block-granular
+        store ids come from ``layout.item_of(self.item(node), block)``.
+        """
         if self.tree.is_tip(node):
             raise LikelihoodError(f"tip {node} has no ancestral vector")
         return node - self.tree.num_tips
 
-    def _inner_pins(self, nodes) -> tuple[int, ...]:
-        return tuple(self.item(x) for x in nodes if not self.tree.is_tip(x))
+    def _block_pins(self, nodes, block: int) -> tuple[int, ...]:
+        """Item ids pinning block ``block`` of each inner node in ``nodes``.
+
+        Only the *same-numbered* block of the other operands needs to stay
+        resident while a kernel runs — per-site independence means block
+        ``b`` of a parent touches exactly block ``b`` of its children, so
+        the store's ``m >= 3`` floor bounds blocks, not whole vectors.
+        """
+        layout = self.layout
+        return tuple(layout.item_of(self.item(x), block)
+                     for x in nodes if not self.tree.is_tip(x))
 
     @property
     def stats(self):
@@ -248,14 +316,17 @@ class LikelihoodEngine:
         computable ahead of time because the plan fixes the order (§3.4).
         """
         out: list[tuple[int, tuple, bool]] = []
+        layout = self.layout
         for step in plan.steps:
             children = [c for c in (step.left, step.right) if not self.tree.is_tip(c)]
-            for c in children:
-                pins = self._inner_pins([x for x in (step.left, step.right, step.node)
-                                         if x != c])
-                out.append((self.item(c), pins, False))
-            out.append((self.item(step.node),
-                        self._inner_pins([step.left, step.right]), True))
+            for b in range(layout.blocks_per_node):
+                for c in children:
+                    pins = self._block_pins(
+                        [x for x in (step.left, step.right, step.node)
+                         if x != c], b)
+                    out.append((layout.item_of(self.item(c), b), pins, False))
+                out.append((layout.item_of(self.item(step.node), b),
+                            self._block_pins([step.left, step.right], b), True))
         return out
 
     def execute_plan(self, plan: TraversalPlan) -> None:
@@ -268,49 +339,173 @@ class LikelihoodEngine:
         failure leaves a consistent state. With a prefetcher attached, the
         plan's access sequence is handed to it first, so swap-ins overlap
         the kernel arithmetic (§5).
+
+        Under a block layout the step runs once per site block: block ``b``
+        of the target needs only block ``b`` of each child (per-site
+        independence), so the (left, right, out) fetch-and-pin triple —
+        and the kernel — iterate over blocks with the scale-count rows
+        sliced to each block's pattern range. With the whole-vector layout
+        there is exactly one block spanning all patterns and the sequence
+        of store calls, pins and kernel operands is bit-for-bit the
+        pre-layout one.
         """
         if self.prefetcher is not None and plan.steps:
             self.prefetcher.feed(self.plan_accesses(plan))
         tree = self.tree
+        layout = self.layout
         for step in plan.steps:
             node, left, right = step.node, step.left, step.right
             P_left = self._P(node, left)
             P_right = self._P(node, right)
 
-            l_clv = r_clv = None
-            l_codes = r_codes = None
+            left_inner = not tree.is_tip(left)
+            right_inner = not tree.is_tip(right)
             counts = self.scale_counts[self.item(node)]
             counts.fill(0)
-            if tree.is_tip(left):
-                l_codes = self._tip_codes[left]
-            else:
-                l_clv = self._timed_get(self.item(left),
-                                        pins=self._inner_pins([right, node]),
-                                        write_only=False)
+            if left_inner:
                 counts += self.scale_counts[self.item(left)]
-            if tree.is_tip(right):
-                r_codes = self._tip_codes[right]
-            else:
-                r_clv = self._timed_get(self.item(right),
-                                        pins=self._inner_pins([left, node]),
-                                        write_only=False)
+            if right_inner:
                 counts += self.scale_counts[self.item(right)]
-            out = self._timed_get(self.item(node),
-                                  pins=self._inner_pins([left, right]),
-                                  write_only=True)
-            tm = self.timers
-            if tm is None:
-                kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
-                                   l_codes, r_codes, self._code_matrix,
-                                   counts, self.scaling)
-            else:
-                with tm.lap("kernel"):
+            for b in range(layout.blocks_per_node):
+                lo, hi = layout.block_bounds(b)
+                span = hi - lo
+                l_clv = r_clv = None
+                l_codes = r_codes = None
+                if left_inner:
+                    l_clv = _valid(
+                        self._timed_get(layout.item_of(self.item(left), b),
+                                        pins=self._block_pins([right, node], b),
+                                        write_only=False), span)
+                else:
+                    l_codes = self._tip_codes[left][lo:hi]
+                if right_inner:
+                    r_clv = _valid(
+                        self._timed_get(layout.item_of(self.item(right), b),
+                                        pins=self._block_pins([left, node], b),
+                                        write_only=False), span)
+                else:
+                    r_codes = self._tip_codes[right][lo:hi]
+                out = _valid(
+                    self._timed_get(layout.item_of(self.item(node), b),
+                                    pins=self._block_pins([left, right], b),
+                                    write_only=True), span)
+                block_counts = counts if span == counts.shape[0] else counts[lo:hi]
+                tm = self.timers
+                if tm is None:
                     kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
                                        l_codes, r_codes, self._code_matrix,
-                                       counts, self.scaling)
+                                       block_counts, self.scaling)
+                else:
+                    with tm.lap("kernel"):
+                        kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
+                                           l_codes, r_codes, self._code_matrix,
+                                           block_counts, self.scaling)
             self.orientation.set(node, step.toward)
 
     # -- likelihood evaluation ----------------------------------------------------------
+
+    def _root_site_likelihoods(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern likelihoods and scale counts across edge ``(u, v)``.
+
+        Both end CLVs must be current (run :meth:`execute_plan` first).
+        Fetches proceed block by block with mutual pins; the per-pattern
+        results are assembled into one RAM array, so the final weighted
+        reduction is performed unblocked — the summation order (and hence
+        the bits) of the log-likelihood is layout-independent.
+        """
+        tree = self.tree
+        layout = self.layout
+        counts = np.zeros(self.num_patterns, dtype=np.int64)
+        u_inner = not tree.is_tip(u)
+        v_inner = not tree.is_tip(v)
+        if u_inner:
+            counts += self.scale_counts[self.item(u)]
+        if v_inner:
+            counts += self.scale_counts[self.item(v)]
+        P = self._P(u, v)
+        freqs = self.model.frequencies.astype(self.dtype)
+        weights = self.rates.weights.astype(self.dtype)
+        single = layout.blocks_per_node == 1
+        site_l = None if single else np.empty(self.num_patterns,
+                                              dtype=self.dtype)
+        for b in range(layout.blocks_per_node):
+            lo, hi = layout.block_bounds(b)
+            span = hi - lo
+            u_clv = v_clv = None
+            u_codes = v_codes = None
+            if u_inner:
+                u_clv = _valid(
+                    self._timed_get(layout.item_of(self.item(u), b),
+                                    pins=self._block_pins([v], b),
+                                    write_only=False), span)
+            else:
+                u_codes = self._tip_codes[u][lo:hi]
+            if v_inner:
+                v_clv = _valid(
+                    self._timed_get(layout.item_of(self.item(v), b),
+                                    pins=self._block_pins([u], b),
+                                    write_only=False), span)
+            else:
+                v_codes = self._tip_codes[v][lo:hi]
+            part = kernels.edge_site_likelihoods(
+                P, freqs, weights,
+                u_clv, v_clv, u_codes, v_codes, self._code_matrix,
+            )
+            if single:
+                # hand back the kernel's own array — the pre-layout object
+                return part, counts
+            site_l[lo:hi] = part
+        assert site_l is not None
+        return site_l, counts
+
+    def _edge_sumtable(self, u: int, v: int) -> np.ndarray:
+        """Eigen-basis sumtable across edge ``(u, v)`` (makenewz phase 1).
+
+        Both end CLVs must be current. Assembled block by block into one
+        ``(patterns, categories, states)`` RAM array. With a single block
+        the kernel's own output array is returned as-is: the downstream
+        Newton einsums are sensitive to operand memory layout at the ulp
+        level, and the kernel's (non-contiguous) product is what the
+        pre-layout code handed them — copying it into a fresh buffer
+        would shift the optimized branch length by an ulp or two.
+        """
+        tree = self.tree
+        layout = self.layout
+        ev = self.model.eigenvectors.astype(self.dtype)
+        iev = self.model.inv_eigenvectors.astype(self.dtype)
+        freqs = self.model.frequencies.astype(self.dtype)
+        u_inner = not tree.is_tip(u)
+        v_inner = not tree.is_tip(v)
+        single = layout.blocks_per_node == 1
+        table = None if single else np.empty(
+            (self.num_patterns, self.rates.num_categories,
+             self.model.num_states), dtype=self.dtype)
+        for b in range(layout.blocks_per_node):
+            lo, hi = layout.block_bounds(b)
+            span = hi - lo
+            u_clv = v_clv = None
+            u_codes = v_codes = None
+            if u_inner:
+                u_clv = _valid(
+                    self.store.get(layout.item_of(self.item(u), b),
+                                   pins=self._block_pins([v], b)), span)
+            else:
+                u_codes = self._tip_codes[u][lo:hi]
+            if v_inner:
+                v_clv = _valid(
+                    self.store.get(layout.item_of(self.item(v), b),
+                                   pins=self._block_pins([u], b)), span)
+            else:
+                v_codes = self._tip_codes[v][lo:hi]
+            part = kernels.branch_sumtable(
+                ev, iev, freqs, u_clv, v_clv, u_codes, v_codes,
+                self._code_matrix,
+            )
+            if single:
+                return part
+            table[lo:hi] = part
+        assert table is not None
+        return table
 
     def edge_loglikelihood(self, u: int, v: int, full: bool = False) -> float:
         """Log-likelihood with the virtual root on edge ``(u, v)``.
@@ -322,29 +517,7 @@ class LikelihoodEngine:
         plan = self.plan(u, v, full=full)
         self.execute_plan(plan)
         self._root_edge = (u, v)
-
-        tree = self.tree
-        u_clv = v_clv = None
-        u_codes = v_codes = None
-        counts = np.zeros(self.num_patterns, dtype=np.int64)
-        if tree.is_tip(u):
-            u_codes = self._tip_codes[u]
-        else:
-            u_clv = self._timed_get(self.item(u), pins=self._inner_pins([v]),
-                                    write_only=False)
-            counts += self.scale_counts[self.item(u)]
-        if tree.is_tip(v):
-            v_codes = self._tip_codes[v]
-        else:
-            v_clv = self._timed_get(self.item(v), pins=self._inner_pins([u]),
-                                    write_only=False)
-            counts += self.scale_counts[self.item(v)]
-
-        site_l = kernels.edge_site_likelihoods(
-            self._P(u, v), self.model.frequencies.astype(self.dtype),
-            self.rates.weights.astype(self.dtype),
-            u_clv, v_clv, u_codes, v_codes, self._code_matrix,
-        )
+        site_l, counts = self._root_site_likelihoods(u, v)
         return kernels.log_likelihood_from_sites(
             site_l, self.pattern_weights, counts, self.scaling
         )
@@ -362,25 +535,7 @@ class LikelihoodEngine:
         plan = self.plan(u, v)
         self.execute_plan(plan)
         self._root_edge = (u, v)
-        tree = self.tree
-        u_clv = v_clv = None
-        u_codes = v_codes = None
-        counts = np.zeros(self.num_patterns, dtype=np.int64)
-        if tree.is_tip(u):
-            u_codes = self._tip_codes[u]
-        else:
-            u_clv = self._timed_get(self.item(u), pins=self._inner_pins([v]))
-            counts += self.scale_counts[self.item(u)]
-        if tree.is_tip(v):
-            v_codes = self._tip_codes[v]
-        else:
-            v_clv = self._timed_get(self.item(v), pins=self._inner_pins([u]))
-            counts += self.scale_counts[self.item(v)]
-        site_l = kernels.edge_site_likelihoods(
-            self._P(u, v), self.model.frequencies.astype(self.dtype),
-            self.rates.weights.astype(self.dtype),
-            u_clv, v_clv, u_codes, v_codes, self._code_matrix,
-        )
+        site_l, counts = self._root_site_likelihoods(u, v)
         per_pattern = np.log(site_l) - counts * self.scaling.log_multiplier
         return per_pattern[self.alignment.compress().pattern_of_site]
 

@@ -8,18 +8,37 @@ log-likelihood is the sum over partitions.
 
 :class:`PartitionedEngine` composes per-partition
 :class:`~repro.phylo.likelihood.engine.LikelihoodEngine` instances on one
-shared :class:`~repro.phylo.tree.Tree`. Each partition keeps its own
-out-of-core vector store (its own slot budget, policy and backing), so the
-memory limit applies partition-wise — the natural generalization of the
-paper's single-matrix design.
+shared :class:`~repro.phylo.tree.Tree`, with two storage arrangements:
+
+* **per-partition stores** (default): each partition keeps its own
+  out-of-core vector store (its own slot budget, policy and backing), so
+  the memory limit applies partition-wise — the natural generalization of
+  the paper's single-matrix design;
+* **one shared store** (``shared_store=...``): every partition's blocks
+  live in a single :class:`~repro.core.vecstore.AncestralVectorStore`
+  over a :class:`~repro.core.layout.ConcatenatedLayout`, so ONE global
+  slot budget (and one policy, one backing file) governs all partitions
+  — a hot gene can claim slots a cold gene is not using, which the
+  fragmented per-partition budgets cannot do. Partitions with unequal
+  pattern counts require a block layout (padded site blocks give every
+  partition the same item geometry).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.layout import (
+    DEFAULT_BLOCK_SITES,
+    ConcatenatedLayout,
+    SharedStoreView,
+    make_layout,
+)
+from repro.core.stats import IoStats
+from repro.core.vecstore import AncestralVectorStore
 from repro.errors import LikelihoodError
 from repro.phylo.likelihood.engine import LikelihoodEngine
+from repro.phylo.models.rates import RateModel
 from repro.phylo.msa import Alignment
 
 
@@ -55,12 +74,37 @@ class PartitionedEngine:
     store_kwargs:
         Per-partition store configuration forwarded to each engine
         (``fraction=...``, ``policy=...``, ...); one dict applied to all,
-        or a list with one dict per partition.
+        or a list with one dict per partition. Mutually exclusive with
+        ``shared_store``.
+    shared_store:
+        One store configuration dict for ALL partitions: the engine
+        builds per-partition layouts (``layout``/``block_sites`` keys,
+        default ``"block"`` with :data:`~repro.core.layout.DEFAULT_BLOCK_SITES`
+        sites), concatenates them, and opens a single
+        :class:`~repro.core.vecstore.AncestralVectorStore` whose remaining
+        keys (``num_slots``/``fraction``/``policy``/``backing``/
+        ``read_skipping``/... , plus ``dtype``) apply globally. Note
+        ``fraction`` is relative to the TOTAL block count across
+        partitions. Each partition engine addresses the store through a
+        :class:`~repro.core.layout.SharedStoreView`, which mirrors its
+        demand counters per partition.
     """
 
-    def __init__(self, tree, partitions, store_kwargs=None) -> None:
+    def __init__(self, tree, partitions, store_kwargs=None, *,
+                 shared_store=None) -> None:
         if not partitions:
             raise LikelihoodError("need at least one partition")
+        if shared_store is not None and store_kwargs is not None:
+            raise LikelihoodError(
+                "pass either store_kwargs (per-partition stores) or "
+                "shared_store (one store for all), not both")
+        self.tree = tree
+        self.engines: list[LikelihoodEngine] = []
+        self._shared_store: AncestralVectorStore | None = None
+        self.shared_layout: ConcatenatedLayout | None = None
+        if shared_store is not None:
+            self._build_shared(tree, partitions, dict(shared_store))
+            return
         if store_kwargs is None:
             store_kwargs = {}
         if isinstance(store_kwargs, dict):
@@ -69,16 +113,46 @@ class PartitionedEngine:
             raise LikelihoodError(
                 f"{len(store_kwargs)} store configs for {len(partitions)} partitions"
             )
-        self.tree = tree
-        self.engines: list[LikelihoodEngine] = []
         for (alignment, model, rates), kwargs in zip(partitions, store_kwargs):
             self.engines.append(
                 LikelihoodEngine(tree, alignment, model, rates, **kwargs)
             )
 
+    def _build_shared(self, tree, partitions, cfg: dict) -> None:
+        """One slot arena for every partition (single global budget)."""
+        layout_kind = cfg.pop("layout", "block")
+        block_sites = cfg.pop("block_sites", None)
+        if layout_kind == "block" and block_sites is None:
+            block_sites = DEFAULT_BLOCK_SITES
+        dtype = np.dtype(cfg.pop("dtype", np.float64))
+        num_inner = tree.num_inner
+        layouts = []
+        for alignment, model, rates in partitions:
+            patterns = alignment.compress().num_patterns
+            cats = (rates if rates is not None
+                    else RateModel.gamma(1.0, 4)).num_categories
+            shape = (patterns, cats, model.num_states)
+            layouts.append(make_layout(layout_kind, num_inner, shape,
+                                       block_sites=block_sites))
+        self.shared_layout = ConcatenatedLayout(layouts)
+        self._shared_store = AncestralVectorStore(
+            layout=self.shared_layout, dtype=dtype, **cfg)
+        for i, (alignment, model, rates) in enumerate(partitions):
+            view = SharedStoreView(self._shared_store,
+                                   self.shared_layout.view(i))
+            self.engines.append(
+                LikelihoodEngine(tree, alignment, model, rates,
+                                 store=view, dtype=dtype)
+            )
+
     @property
     def num_partitions(self) -> int:
         return len(self.engines)
+
+    @property
+    def shared_store(self) -> AncestralVectorStore | None:
+        """The single shared store, or ``None`` with per-partition stores."""
+        return self._shared_store
 
     def loglikelihood(self) -> float:
         """Sum of per-partition log-likelihoods (shared virtual root)."""
@@ -138,23 +212,7 @@ class PartitionedEngine:
             plan = e.plan(u, v)
             e.execute_plan(plan)
             e._root_edge = (u, v)
-            tree = e.tree
-            u_clv = v_clv = None
-            u_codes = v_codes = None
-            if tree.is_tip(u):
-                u_codes = e._tip_codes[u]
-            else:
-                u_clv = e.store.get(e.item(u), pins=e._inner_pins([v]))
-            if tree.is_tip(v):
-                v_codes = e._tip_codes[v]
-            else:
-                v_clv = e.store.get(e.item(v), pins=e._inner_pins([u]))
-            tables.append(kernels.branch_sumtable(
-                e.model.eigenvectors.astype(e.dtype),
-                e.model.inv_eigenvectors.astype(e.dtype),
-                e.model.frequencies.astype(e.dtype),
-                u_clv, v_clv, u_codes, v_codes, e._code_matrix,
-            ))
+            tables.append(e._edge_sumtable(u, v))
 
         t = float(np.clip(self.tree.branch_length(u, v),
                           MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH))
@@ -190,9 +248,45 @@ class PartitionedEngine:
         return sum(e.total_ancestral_bytes() for e in self.engines)
 
     @property
-    def stats(self):
-        """Per-partition I/O statistics."""
+    def partition_stats(self) -> list[IoStats]:
+        """Per-partition I/O statistics.
+
+        With per-partition stores these are the full store counters; with
+        a shared store each entry is that partition's
+        :class:`~repro.core.layout.SharedStoreView` mirror, which carries
+        the demand counters only (evictions and async traffic are global
+        decisions of the shared store — see :meth:`stats`).
+        """
         return [e.stats for e in self.engines]
 
+    def stats(self) -> IoStats:
+        """Aggregated I/O statistics, reported like a single-engine run.
+
+        With a shared store this is the store's own global counter block
+        (its demand traffic equals the sum of the per-partition mirrors);
+        with per-partition stores it is the element-wise sum of the
+        per-partition blocks.
+        """
+        if self._shared_store is not None:
+            return self._shared_store.stats
+        return IoStats.merged(self.partition_stats)
+
+    def close(self) -> None:
+        """Close every partition engine and (once) the shared store."""
+        for e in self.engines:
+            e.close()
+        if self._shared_store is not None:
+            self._shared_store.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PartitionedEngine({self.num_partitions} partitions, {self.tree!r})"
+        if self._shared_store is not None:
+            store = self._shared_store
+            desc = (f"shared store: {store.num_slots} slots over "
+                    f"{store.num_items} blocks of {store.item_shape}, "
+                    f"policy={getattr(store.policy, 'name', '?')}")
+        else:
+            slots = sum(getattr(e.store, "num_slots", 0) for e in self.engines)
+            desc = f"per-partition stores: {slots} slots total"
+        patterns = sum(e.num_patterns for e in self.engines)
+        return (f"PartitionedEngine({self.num_partitions} partitions, "
+                f"{self.tree.num_tips} taxa, {patterns} patterns, {desc})")

@@ -35,6 +35,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.cli import _parse_model, _read_alignment
 from repro.core.stats import DEMAND_COUNTERS, EVICTION_COUNTERS
 from repro.errors import ReproError
@@ -71,29 +73,38 @@ def _dataset(args):
     return alignment, tree
 
 
-def _make_backing(kind: str, num_items: int, shape, dtype, workdir: str):
+def _make_backing(kind: str, layout, dtype, workdir: str):
+    """Backing store sized for the layout's item space (blocks, not nodes)."""
     if kind == "memory":
         return None  # the store builds its own MemoryBackingStore
     if kind == "file":
         from repro.core.backing import FileBackingStore
-        return FileBackingStore(os.path.join(workdir, "vectors.bin"),
-                                num_items, shape, dtype)
+        return FileBackingStore.from_layout(
+            os.path.join(workdir, "vectors.bin"), layout, dtype)
     if kind == "simulated":
         from repro.core.backing import SimulatedDiskBackingStore
-        return SimulatedDiskBackingStore(num_items, shape, dtype)
+        return SimulatedDiskBackingStore.from_layout(layout, dtype)
     raise ReproError(f"unknown backing store kind {kind!r}")
 
 
 def _build_engine(alignment, tree, args, workdir: str) -> LikelihoodEngine:
+    from repro.core.layout import make_layout
+
     model, rates = _parse_model(args.model, alignment)
-    probe = LikelihoodEngine(tree.copy(), alignment, model, rates)
-    backing = _make_backing(args.backing, probe.num_inner, probe.clv_shape,
-                            probe.dtype, workdir)
+    dtype = np.dtype(args.dtype)
+    probe = LikelihoodEngine(tree.copy(), alignment, model, rates, dtype=dtype)
+    layout = make_layout(
+        args.layout, probe.num_inner, probe.clv_shape,
+        block_sites=args.block_sites if args.layout == "block" else None)
+    backing = _make_backing(args.backing, layout, probe.dtype, workdir)
     del probe
     policy_kwargs = {"seed": args.seed} if args.policy == "random" else None
     return LikelihoodEngine(
         tree.copy(), alignment, model, rates,
-        fraction=args.fraction,
+        dtype=dtype,
+        layout=layout,
+        fraction=None if args.num_slots is not None else args.fraction,
+        num_slots=args.num_slots,
         policy=args.policy,
         policy_kwargs=policy_kwargs,
         backing=backing,
@@ -121,9 +132,11 @@ def _counters_block(engine: LikelihoodEngine) -> dict:
 
 def _config_block(args, engine: LikelihoodEngine) -> dict:
     return {
-        "fraction": engine.store.num_slots / engine.num_inner,
+        "fraction": engine.store.num_slots / engine.store.num_items,
         "num_slots": engine.store.num_slots,
-        "num_items": engine.num_inner,
+        "num_items": engine.store.num_items,
+        "layout": engine.layout.describe(),
+        "dtype": str(np.dtype(args.dtype)),
         "policy": args.policy,
         "backing": args.backing,
         "writeback_depth": args.writeback_depth,
@@ -155,6 +168,10 @@ def _parity_check(alignment, tree, args, workdir: str,
 
 
 def run_profile(args) -> int:
+    if args.block_sites is not None and args.layout != "block":
+        print("error: --block-sites only applies to --layout block",
+              file=sys.stderr)
+        return 2
     if args.check_parity and args.prefetch_depth:
         # A prefetch thread's policy touches depend on scheduling, so two
         # runs can evict different victims regardless of tracing; the
@@ -269,6 +286,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SPR radius for --workload search")
     parser.add_argument("--fraction", type=float, default=0.25,
                         help="fraction f of vectors held in RAM (paper §3.2)")
+    parser.add_argument("--num-slots", type=int, default=None,
+                        help="absolute RAM slot count (overrides --fraction; "
+                             "with --layout block this can be smaller than "
+                             "one whole vector's worth of blocks)")
+    parser.add_argument("--layout", default="whole",
+                        choices=["whole", "block"],
+                        help="storage layout: whole vectors (the paper's "
+                             "unit of paging) or site blocks")
+    parser.add_argument("--block-sites", type=int, default=None,
+                        help="sites per block for --layout block "
+                             "(default: 64)")
+    parser.add_argument("--dtype", default="float64",
+                        choices=["float64", "float32"],
+                        help="floating-point precision of the ancestral "
+                             "vectors (default: float64)")
     parser.add_argument("--policy", default="lru",
                         choices=["random", "lru", "lfu", "fifo", "clock",
                                  "topological"])

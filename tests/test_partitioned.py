@@ -94,7 +94,9 @@ class TestPartitionedLikelihood:
                           "poison_skipped_reads": True},
         )
         assert ooc.loglikelihood() == ref
-        assert all(s.requests > 0 for s in ooc.stats)
+        assert all(s.requests > 0 for s in ooc.partition_stats)
+        merged = ooc.stats()
+        assert merged.requests == sum(s.requests for s in ooc.partition_stats)
 
     def test_per_partition_store_configs(self, part_dataset):
         tree, aln = part_dataset

@@ -90,3 +90,71 @@ class TestEngineIntegration:
                                rates, store=ts)
         eng.full_traversals(3)
         assert ts.host_stats.misses <= ts.device_stats.misses
+
+
+class TestObservabilityAndValidation:
+    def test_attach_tracer_covers_both_tiers(self):
+        from repro.obs.tracer import Tracer
+
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        tracer = Tracer(capacity=256)
+        ts.attach_tracer(tracer)
+        assert ts.tracer is tracer
+        assert ts.device.tracer is tracer
+        assert ts.host.tracer is tracer
+        ts.get(0, write_only=True)
+        ts.get(7, write_only=True)
+        assert len(tracer.records()) > 0
+        ts.attach_tracer(None)
+        assert ts.tracer is None and ts.host.tracer is None
+
+    def test_observer_attaches_via_duck_typing(self, small_tree,
+                                               small_alignment, small_model):
+        from repro.obs import Observer
+
+        rates = RateModel.gamma(0.8, 4)
+        shape = (small_alignment.num_patterns, 4, 4)
+        ts = TieredVectorStore(small_tree.num_inner, shape,
+                               device_slots=3, host_slots=5)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment,
+                               small_model, rates, store=ts)
+        obs = Observer(capacity=1024)
+        obs.attach(eng)
+        eng.loglikelihood()
+        assert obs.event_summary()["captured"] > 0
+        obs.detach(eng)
+        assert ts.tracer is None and ts.host.tracer is None
+        eng.close()
+
+    def test_front_door_properties(self):
+        backing = MemoryBackingStore(10, SHAPE)
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5,
+                               backing=backing)
+        assert ts.stats is ts.device.stats
+        assert ts.backing is backing
+        assert ts.policy is ts.device.policy
+        assert ts.num_items == 10
+
+    def test_validate_passes_on_healthy_store(self):
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        for i in range(10):
+            ts.get(i, write_only=True)[:] = float(i)
+        ts.validate()  # no exception
+
+    def test_validate_detects_broken_link(self):
+        from repro.core.vecstore import AncestralVectorStore
+
+        ts = TieredVectorStore(10, SHAPE, device_slots=3, host_slots=5)
+        ts.link.host = AncestralVectorStore(10, SHAPE, num_slots=5)
+        with pytest.raises(OutOfCoreError, match="link"):
+            ts.validate()
+
+    def test_shared_layout_instance(self):
+        from repro.core.layout import SiteBlockLayout
+
+        layout = SiteBlockLayout(5, (40, 2, 4), block_sites=16)
+        ts = TieredVectorStore(layout=layout, device_slots=3, host_slots=6)
+        assert ts.layout is layout
+        assert ts.device.layout is ts.host.layout
+        assert ts.num_items == layout.num_items
+        ts.validate()
