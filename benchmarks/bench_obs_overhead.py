@@ -40,6 +40,22 @@ def _timed_run(ds, observer=None):
     return wall, counters
 
 
+def _timed_layout_run(ds, observer=None, layout="whole", block_sites=None):
+    """Like :func:`_timed_run` but through the engine's layout plumbing."""
+    kw = dict(fraction=SLOT_FRACTION, policy="lru")
+    if layout == "block":
+        kw.update(layout="block", block_sites=block_sites)
+    engine = ds.engine(**kw)
+    if observer is not None:
+        observer.attach(engine)
+    t0 = time.perf_counter()
+    engine.full_traversals(TRAVERSALS)
+    wall = time.perf_counter() - t0
+    counters = engine.store.stats._counters()
+    engine.close()
+    return wall, counters
+
+
 def test_observer_overhead_is_bounded(benchmark, ds1288):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
@@ -67,3 +83,41 @@ def test_observer_overhead_is_bounded(benchmark, ds1288):
     ])
     # generous bound: instrumentation must not dominate the traversal
     assert overhead < 3.0, f"observer overhead {overhead:.2f}x exceeds 3x"
+
+
+def test_full_telemetry_overhead_both_layouts(benchmark, ds1288):
+    """Metrics registry + span recorder + tracer together stay bounded.
+
+    The registry is pull-based (collectors only run at scrape time) and
+    the span/metric push sites are single ``is None`` guards, so enabling
+    the whole telemetry stack must stay under the same 3x bound as the
+    tracer alone — on the whole-vector AND the site-block layout — and
+    must leave the demand counters bit-identical (passivity).
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    lines = [f"{TRAVERSALS} full traversals, f={SLOT_FRACTION}, lru, "
+             "full telemetry = tracer + metrics + spans"]
+    for layout, block_sites in (("whole", None), ("block", 256)):
+        bare_wall, bare_counters = _timed_layout_run(
+            ds1288, layout=layout, block_sites=block_sites)
+        obs = Observer(capacity=1 << 18, metrics=True, spans=True)
+        full_wall, full_counters = _timed_layout_run(
+            ds1288, observer=obs, layout=layout, block_sites=block_sites)
+
+        # passivity: the full stack never changes what the store did
+        assert full_counters == bare_counters, layout
+        assert obs.tracer.emitted > 0
+        assert len(obs.spans) > 0
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["requests"] == bare_counters["requests"]
+
+        overhead = full_wall / bare_wall
+        lines.append(
+            f"{layout:>8} layout | bare {bare_wall:7.3f}s | "
+            f"full telemetry {full_wall:7.3f}s | {overhead:5.2f}x | "
+            f"{obs.spans.emitted} spans, {obs.tracer.emitted} events")
+        assert overhead < 3.0, (
+            f"full telemetry overhead {overhead:.2f}x exceeds 3x "
+            f"on the {layout} layout")
+    report("bench_obs_overhead_full", lines)

@@ -13,6 +13,8 @@ RULES: dict[str, str] = {
     "CNT003": "demand-side counter mutated on a writer/prefetch thread path",
     "EVT001": "emit() call site uses an event type missing from EVENT_TYPES",
     "EVT002": "EVENT_TYPES / EVENT_COUNTERS / counter registry out of sync",
+    "MET001": "registry call site uses a metric name missing from METRIC_NAMES",
+    "MET002": "METRIC_NAMES / METRIC_EXPOSITION / RESULT_METRICS out of sync",
     "LEAK001": "public method returns a raw _slots buffer view (no copy/pin)",
     "DET001": "stdlib 'random' used in deterministic scope",
     "DET002": "unseeded numpy RNG in deterministic scope",

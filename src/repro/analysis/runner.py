@@ -11,6 +11,7 @@ from repro.analysis.events import check_events
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.leaks import check_leaks
 from repro.analysis.locks import check_locks
+from repro.analysis.metrics import check_metrics
 from repro.analysis.source import SourceFile
 from repro.analysis.typeinfo import ClassIndex
 
@@ -37,6 +38,7 @@ def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
     findings.extend(check_locks(files, index))
     findings.extend(check_counters(files, index))
     findings.extend(check_events(files))
+    findings.extend(check_metrics(files))
     findings.extend(check_leaks(files))
     findings.extend(check_determinism(files))
 

@@ -1,0 +1,25 @@
+"""Regression-tracking benchmark runner (``python -m repro.bench``).
+
+Drives one instance of each paper evaluation workload (Fig. 2 / Fig. 3 /
+Fig. 5 plus the §4.3 lazy SPR search, over whole-vector and site-block
+layouts), emits a versioned ``BENCH_results.json`` and can compare it
+against a stored baseline with noise-tolerant thresholds. See
+:mod:`repro.bench.runner` for the CLI and :mod:`repro.bench.schema` for
+the document layout.
+"""
+
+from repro.bench.schema import (
+    LOWER_IS_BETTER_COUNTERS,
+    RESULT_METRICS,
+    RESULTS_SCHEMA,
+    compare_results,
+    validate_results,
+)
+
+__all__ = [
+    "LOWER_IS_BETTER_COUNTERS",
+    "RESULTS_SCHEMA",
+    "RESULT_METRICS",
+    "compare_results",
+    "validate_results",
+]

@@ -1,0 +1,356 @@
+"""``python -m repro.bench`` — the regression-tracking benchmark runner.
+
+Drives one small instance of each paper evaluation workload — Fig. 2
+miss rates (LRU vs random, whole-vector and site-block layouts), Fig. 3
+read skipping on/off, Fig. 5 runtime under a simulated HDD (out-of-core
+vs OS paging), and the §4.3 lazy SPR search — and writes a versioned
+``BENCH_results.json`` (:mod:`repro.bench.schema`).
+
+Every out-of-core workload runs with a live metrics registry attached;
+the reported counters come from the engine's :class:`IoStats` and are
+cross-checked against the registry snapshot, so a bench run doubles as
+an end-to-end test of the telemetry path. ``--baseline FILE`` compares
+against a stored document and exits nonzero on regression; CI's
+``bench-smoke`` job runs ``--quick`` and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.schema import (
+    RESULT_METRICS,
+    RESULTS_SCHEMA,
+    compare_results,
+    validate_results,
+)
+from repro.errors import ReproError
+from repro.obs import Observer
+
+#: Cache fraction shared by all out-of-core workloads (a paper midpoint).
+FRACTION = 0.25
+
+
+def _dataset(taxa: int, sites: int, seed: int):
+    from repro.phylo.models import GTR
+    from repro.phylo.models.rates import RateModel
+    from repro.simulate import simulate_alignment, yule_tree
+
+    tree = yule_tree(taxa, seed=seed, scale=0.1)
+    model = GTR()
+    rates = RateModel.gamma(1.0, 4)
+    alignment = simulate_alignment(tree, model, sites, seed=seed + 1)
+    return tree, alignment, model, rates
+
+
+def _geometry(ctx):
+    """(num_inner, clv_shape) probed once per run."""
+    from repro.phylo.likelihood.engine import LikelihoodEngine
+
+    tree, alignment, model, rates = ctx["dataset"]
+    probe = LikelihoodEngine(tree.copy(), alignment, model, rates)
+    geom = (probe.num_inner, probe.clv_shape)
+    probe.close()
+    return geom
+
+
+def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
+                  backing_kind="memory", store=None):
+    from repro.core.backing import SimulatedDiskBackingStore
+    from repro.core.layout import make_layout
+    from repro.phylo.likelihood.engine import LikelihoodEngine
+    from repro.vm.disk import DiskModel
+
+    tree, alignment, model, rates = ctx["dataset"]
+    if store is not None:
+        return LikelihoodEngine(tree.copy(), alignment, model, rates,
+                                store=store)
+    num_inner, clv_shape = ctx["geometry"]
+    block_sites = ctx["block_sites"] if layout == "block" else None
+    lay = make_layout(layout, num_inner, clv_shape, block_sites=block_sites)
+    backing = None
+    if backing_kind == "simulated":
+        backing = SimulatedDiskBackingStore.from_layout(
+            lay, np.float64, disk=DiskModel.hdd())
+    policy_kwargs = {"seed": ctx["seed"]} if policy == "random" else None
+    return LikelihoodEngine(
+        tree.copy(), alignment, model, rates,
+        layout=lay, fraction=FRACTION, policy=policy,
+        policy_kwargs=policy_kwargs, backing=backing,
+        read_skipping=read_skipping,
+    )
+
+
+def _run_entry(ctx, figure, engine, run, config, *, use_registry=True):
+    """Execute one workload and build its result entry.
+
+    With ``use_registry`` the run happens under a live
+    :class:`MetricsRegistry` and the reported counters are cross-checked
+    against its snapshot — any disagreement is a telemetry bug and
+    aborts the bench.
+    """
+    obs = Observer(metrics=True) if use_registry else None
+    if obs is not None:
+        obs.attach(engine)
+    try:
+        t0 = time.perf_counter()
+        lnl = run(engine)
+        drain = getattr(engine.store, "drain", None)
+        if drain is not None:
+            drain()
+        wall = time.perf_counter() - t0
+        stats = engine.stats
+        row = stats.as_row()
+        counters = {key: int(row[key]) for key in RESULT_METRICS}
+        derived = {"miss_rate": float(stats.miss_rate),
+                   "read_rate": float(stats.read_rate)}
+        if obs is not None:
+            snap = obs.metrics.snapshot()["counters"]
+            for key in RESULT_METRICS:
+                if snap.get(key) != counters[key]:
+                    raise ReproError(
+                        f"metrics registry disagrees with IoStats on "
+                        f"{key!r}: {snap.get(key)} vs {counters[key]}")
+    finally:
+        if obs is not None:
+            obs.detach(engine)
+        engine.close()
+    return {
+        "figure": figure,
+        "config": config,
+        "wall_seconds": wall,
+        "log_likelihood": float(lnl),
+        "metrics": counters,
+        "derived": derived,
+        "registry_checked": use_registry,
+    }
+
+
+def _run_full(traversals):
+    return lambda engine: engine.full_traversals(traversals)
+
+
+def _run_search(radius):
+    def run(engine):
+        from repro.phylo.search.spr import lazy_spr_round
+        return lazy_spr_round(engine, radius=radius).lnl
+    return run
+
+
+def _workloads(ctx):
+    """Yield ``(name, figure, build, run, config)`` for every workload."""
+    traversals, radius = ctx["traversals"], ctx["radius"]
+    full, search = _run_full(traversals), _run_search(radius)
+
+    def cfg(**kw):
+        base = {"fraction": FRACTION, "traversals": traversals}
+        base.update(kw)
+        return base
+
+    yield ("fig2_lru_whole", "fig2",
+           lambda: _build_engine(ctx, policy="lru"),
+           full, cfg(policy="lru", layout="whole"))
+    yield ("fig2_random_whole", "fig2",
+           lambda: _build_engine(ctx, policy="random"),
+           full, cfg(policy="random", layout="whole"))
+    yield ("fig2_lru_block", "fig2",
+           lambda: _build_engine(ctx, policy="lru", layout="block"),
+           full, cfg(policy="lru", layout="block",
+                     block_sites=ctx["block_sites"]))
+    yield ("fig3_skip", "fig3",
+           lambda: _build_engine(ctx, read_skipping=True),
+           full, cfg(policy="lru", layout="whole", read_skipping=True))
+    yield ("fig3_noskip", "fig3",
+           lambda: _build_engine(ctx, read_skipping=False),
+           full, cfg(policy="lru", layout="whole", read_skipping=False))
+    yield ("fig5_ooc_whole", "fig5",
+           lambda: _build_engine(ctx, backing_kind="simulated"),
+           full, cfg(policy="lru", layout="whole", backing="simulated-hdd"))
+    yield ("fig5_ooc_block", "fig5",
+           lambda: _build_engine(ctx, backing_kind="simulated",
+                                 layout="block"),
+           full, cfg(policy="lru", layout="block",
+                     block_sites=ctx["block_sites"], backing="simulated-hdd"))
+    yield ("fig5_paging", "fig5",
+           lambda: _build_engine(ctx, store=_paging_store(ctx)),
+           full, cfg(policy=None, layout="paged", backing="simulated-hdd"))
+    yield ("spr_search_whole", "spr",
+           lambda: _build_engine(ctx, policy="lru"),
+           search, cfg(policy="lru", layout="whole", radius=radius,
+                       workload="search"))
+    yield ("spr_search_block", "spr",
+           lambda: _build_engine(ctx, policy="lru", layout="block"),
+           search, cfg(policy="lru", layout="block",
+                       block_sites=ctx["block_sites"], radius=radius,
+                       workload="search"))
+
+
+def _paging_store(ctx):
+    from repro.vm.disk import DiskModel
+    from repro.vm.standardstore import PagedStandardStore
+
+    num_inner, clv_shape = ctx["geometry"]
+    item_bytes = int(np.prod(clv_shape)) * 8
+    ram = max(4096, int(FRACTION * num_inner * item_bytes))
+    return PagedStandardStore(num_inner, clv_shape, ram_bytes=ram,
+                              disk=DiskModel.hdd())
+
+
+def run_bench(args) -> int:
+    ctx = {
+        "dataset": _dataset(args.taxa, args.sites, args.seed),
+        "seed": args.seed,
+        "traversals": args.traversals,
+        "radius": args.radius,
+        "block_sites": args.block_sites,
+    }
+    ctx["geometry"] = _geometry(ctx)
+
+    workloads = {}
+    for name, figure, build, run, config in _workloads(ctx):
+        engine = build()
+        store = engine.store
+        use_registry = hasattr(store, "attach_metrics")
+        entry = _run_entry(ctx, figure, engine, run, config,
+                           use_registry=use_registry)
+        if name == "fig5_paging":
+            entry["simulated_io_seconds"] = float(store.simulated_seconds)
+            entry["faults"] = int(store.faults)
+        elif figure == "fig5":
+            entry["simulated_io_seconds"] = float(
+                store.backing.simulated_seconds)
+        workloads[name] = entry
+        print(f"{name:>18}: lnL {entry['log_likelihood']:.4f}  "
+              f"{entry['wall_seconds']:.3f}s  "
+              f"miss {entry['derived']['miss_rate']:.2%}  "
+              f"read {entry['derived']['read_rate']:.2%}")
+
+    doc = {
+        "schema": RESULTS_SCHEMA,
+        "quick": bool(args.quick),
+        "config": {
+            "taxa": args.taxa,
+            "sites": args.sites,
+            "seed": args.seed,
+            "traversals": args.traversals,
+            "radius": args.radius,
+            "block_sites": args.block_sites,
+            "fraction": FRACTION,
+        },
+        "workloads": workloads,
+    }
+    problems = validate_results(doc)
+    if problems:  # a bug in this module, not in the caller's input
+        for p in problems:
+            print(f"internal schema violation: {p}", file=sys.stderr)
+        return 1
+
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"results written : {out} ({len(workloads)} workloads)")
+
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        regressions, notes = compare_results(
+            doc, baseline,
+            time_tolerance=args.time_tolerance,
+            rate_tolerance=args.rate_tolerance,
+            counter_tolerance=args.counter_tolerance,
+        )
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            for r in regressions:
+                print(f"REGRESSION: {r}", file=sys.stderr)
+            print(f"{len(regressions)} regression(s) vs {args.baseline}",
+                  file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline}")
+    return 0
+
+
+def run_validate(path: str) -> int:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_results(doc)
+    if problems:
+        for p in problems:
+            print(f"{path}: {p}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {RESULTS_SCHEMA} results")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the paper-evaluation benchmark suite and write "
+                    "BENCH_results.json; optionally compare against a "
+                    "stored baseline and fail on regression.",
+    )
+    parser.add_argument("--validate", metavar="PATH",
+                        help="validate an existing results file and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry for CI smoke runs "
+                             "(12 taxa, 120 sites, 2 traversals, radius 2)")
+    parser.add_argument("--taxa", type=int, default=None,
+                        help="simulated taxa (default 24; 12 with --quick)")
+    parser.add_argument("--sites", type=int, default=None,
+                        help="alignment length (default 300; 120 with "
+                             "--quick)")
+    parser.add_argument("--traversals", type=int, default=None,
+                        help="full traversals per workload (default 3; "
+                             "2 with --quick)")
+    parser.add_argument("--radius", type=int, default=None,
+                        help="SPR rearrangement radius (default 3; 2 with "
+                             "--quick)")
+    parser.add_argument("--block-sites", type=int, default=64,
+                        help="sites per block for the block-layout "
+                             "workloads (default 64)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="compare against this results file; exit 1 on "
+                             "regression")
+    parser.add_argument("--time-tolerance", type=float, default=1.0,
+                        help="relative slowdown tolerated on timing "
+                             "figures (default 1.0 = 2x)")
+    parser.add_argument("--rate-tolerance", type=float, default=0.02,
+                        help="absolute increase tolerated on miss/read "
+                             "rates (default 0.02)")
+    parser.add_argument("--counter-tolerance", type=float, default=0.0,
+                        help="relative increase tolerated on deterministic "
+                             "I/O counters (default 0 = exact)")
+    parser.add_argument("-o", "--out", default="BENCH_results.json",
+                        help="output path (default BENCH_results.json)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        return run_validate(args.validate)
+    defaults = (12, 120, 2, 2) if args.quick else (24, 300, 3, 3)
+    args.taxa = args.taxa if args.taxa is not None else defaults[0]
+    args.sites = args.sites if args.sites is not None else defaults[1]
+    args.traversals = (args.traversals if args.traversals is not None
+                       else defaults[2])
+    args.radius = args.radius if args.radius is not None else defaults[3]
+    return run_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""Schema and baseline comparison for ``BENCH_results.json``.
+
+``python -m repro.bench`` emits one versioned document per run:
+
+* :data:`RESULTS_SCHEMA` — the layout version tag;
+* :func:`validate_results` — the hand-rolled validator (same no-jsonschema
+  discipline as :func:`repro.obs.exporters.validate_profile`);
+* :func:`compare_results` — the regression check behind ``--baseline``:
+  deterministic I/O counters are compared exactly, timing and rate
+  figures with configurable noise tolerances, and workloads whose
+  configuration changed between the two documents are skipped with a
+  note instead of producing false alarms.
+
+The per-workload counter names in :data:`RESULT_METRICS` are a subset of
+the metrics catalogue (:data:`repro.obs.metrics.METRIC_NAMES`); analysis
+rule MET002 keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import METRIC_NAMES
+
+#: Version tag of the ``BENCH_results.json`` document layout.
+RESULTS_SCHEMA = "repro-bench/1"
+
+#: Per-workload counters every result entry must report — the §4
+#: evaluation metrics, named exactly as in the metrics catalogue.
+RESULT_METRICS = (
+    "requests", "hits", "misses", "reads", "read_skips",
+    "writes", "write_skips", "bytes_read", "bytes_written",
+)
+
+#: Counters where a larger current value is a regression. ``requests``
+#: and ``hits`` are excluded: request totals are workload shape, and
+#: more hits is an improvement.
+LOWER_IS_BETTER_COUNTERS = (
+    "misses", "reads", "writes", "bytes_read", "bytes_written",
+)
+
+#: Timing figures compared with relative ``time_tolerance`` (noisy).
+TIME_KEYS = ("wall_seconds", "simulated_io_seconds")
+
+#: Derived rates compared with absolute ``rate_tolerance``.
+RATE_KEYS = ("miss_rate", "read_rate")
+
+#: Required top-level document keys.
+_REQUIRED_TOP = ("schema", "quick", "config", "workloads")
+
+#: Required keys of each workload entry.
+_ENTRY_KEYS = ("figure", "config", "wall_seconds", "log_likelihood",
+               "metrics", "derived")
+
+assert set(RESULT_METRICS) <= METRIC_NAMES, \
+    "RESULT_METRICS must use catalogue names (analysis rule MET002)"
+
+
+def _type_name(obj: Any) -> str:
+    return type(obj).__name__
+
+
+def validate_results(doc: Any) -> list[str]:
+    """Validate a ``BENCH_results.json`` document; returns problem strings.
+
+    An empty list means the document conforms to :data:`RESULTS_SCHEMA`.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {_type_name(doc)}"]
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if problems:
+        return problems
+    if doc["schema"] != RESULTS_SCHEMA:
+        problems.append(
+            f"schema is {doc['schema']!r}, expected {RESULTS_SCHEMA!r}")
+    if not isinstance(doc["quick"], bool):
+        problems.append("quick must be a boolean")
+    if not isinstance(doc["config"], dict):
+        problems.append("config must be an object")
+
+    workloads = doc["workloads"]
+    if not isinstance(workloads, dict) or not workloads:
+        return [*problems, "workloads must be a non-empty object"]
+    for name, entry in workloads.items():
+        if not isinstance(entry, dict):
+            problems.append(f"workload {name!r} must be an object")
+            continue
+        for key in _ENTRY_KEYS:
+            if key not in entry:
+                problems.append(f"workload {name!r} missing {key!r}")
+        if not isinstance(entry.get("config"), dict):
+            problems.append(f"workload {name!r} config must be an object")
+        for key in ("wall_seconds", "log_likelihood"):
+            if key in entry and not isinstance(entry[key], (int, float)):
+                problems.append(f"workload {name!r} {key!r} must be numeric")
+        if isinstance(entry.get("wall_seconds"), (int, float)) \
+                and entry["wall_seconds"] < 0:
+            problems.append(f"workload {name!r} wall_seconds must be >= 0")
+
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"workload {name!r} metrics must be an object")
+        else:
+            for key in RESULT_METRICS:
+                if not isinstance(metrics.get(key), int):
+                    problems.append(
+                        f"workload {name!r} metrics missing integer {key!r}")
+
+        derived = entry.get("derived")
+        if not isinstance(derived, dict):
+            problems.append(f"workload {name!r} derived must be an object")
+        else:
+            for key in RATE_KEYS:
+                value = derived.get(key)
+                if not isinstance(value, (int, float)):
+                    problems.append(
+                        f"workload {name!r} derived missing numeric {key!r}")
+                elif not 0.0 <= value <= 1.0:
+                    problems.append(
+                        f"workload {name!r} derived {key!r}={value} "
+                        "outside [0, 1]")
+        if "simulated_io_seconds" in entry and not isinstance(
+                entry["simulated_io_seconds"], (int, float)):
+            problems.append(
+                f"workload {name!r} simulated_io_seconds must be numeric")
+    return problems
+
+
+def compare_results(
+    current: dict,
+    baseline: dict,
+    *,
+    time_tolerance: float = 1.0,
+    rate_tolerance: float = 0.02,
+    counter_tolerance: float = 0.0,
+    time_floor: float = 0.25,
+) -> tuple[list[str], list[str]]:
+    """Compare a fresh result document against a stored baseline.
+
+    Returns ``(regressions, notes)``. Regressions are things that should
+    fail CI: a timing figure more than ``time_tolerance`` (relative)
+    above baseline *and* more than ``time_floor`` seconds above it
+    (sub-second quick runs are dominated by scheduler noise, so the
+    deterministic counters and rates are the primary surface), a
+    rate more than ``rate_tolerance`` (absolute) above baseline, a
+    lower-is-better counter above ``baseline * (1 + counter_tolerance)``,
+    or a baseline workload missing from the current run. Improvements
+    never regress. Workloads whose recorded config differs (or whose
+    request totals differ, meaning the workload shape itself changed)
+    are skipped with a note — a resized benchmark is not a regression.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    base_problems = validate_results(baseline)
+    if base_problems:
+        return ([f"baseline invalid: {p}" for p in base_problems], notes)
+    cur_problems = validate_results(current)
+    if cur_problems:
+        return ([f"current results invalid: {p}" for p in cur_problems],
+                notes)
+
+    cur_wl, base_wl = current["workloads"], baseline["workloads"]
+    for name in sorted(set(base_wl) - set(cur_wl)):
+        regressions.append(f"{name}: workload present in baseline but "
+                           "missing from current results")
+    for name in sorted(set(cur_wl) - set(base_wl)):
+        notes.append(f"{name}: new workload, no baseline to compare")
+
+    for name in sorted(set(cur_wl) & set(base_wl)):
+        cur, base = cur_wl[name], base_wl[name]
+        if cur["config"] != base["config"]:
+            notes.append(f"{name}: config changed, comparison skipped")
+            continue
+
+        for key in TIME_KEYS:
+            if key not in cur or key not in base:
+                continue
+            c, b = cur[key], base[key]
+            if c > b * (1.0 + time_tolerance) and c - b > time_floor:
+                regressions.append(
+                    f"{name}: {key} regressed {b:.4f}s -> {c:.4f}s "
+                    f"(+{(c - b) / b:.0%}, tolerance {time_tolerance:.0%})")
+
+        for key in RATE_KEYS:
+            c, b = cur["derived"][key], base["derived"][key]
+            if c > b + rate_tolerance:
+                regressions.append(
+                    f"{name}: {key} regressed {b:.4f} -> {c:.4f} "
+                    f"(tolerance +{rate_tolerance})")
+
+        if cur["metrics"]["requests"] != base["metrics"]["requests"]:
+            notes.append(
+                f"{name}: request totals differ "
+                f"({base['metrics']['requests']} -> "
+                f"{cur['metrics']['requests']}), counter comparison skipped")
+            continue
+        for key in LOWER_IS_BETTER_COUNTERS:
+            c, b = cur["metrics"][key], base["metrics"][key]
+            if c > b * (1.0 + counter_tolerance):
+                regressions.append(
+                    f"{name}: counter {key} regressed {b} -> {c}")
+    return regressions, notes

@@ -32,6 +32,7 @@ from repro.vm.disk import DiskModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.layout import StorageLayout
     from repro.obs.histogram import BackingProbe
+    from repro.obs.metrics import MetricsRegistry
 
 
 class BackingStore(Protocol):
@@ -66,9 +67,11 @@ class MemoryBackingStore:
         self._data = np.zeros((self.num_items, *self.item_shape), dtype=self.dtype)
         self._present = np.zeros(self.num_items, dtype=bool)
         self._closed = False
-        # Observability hook (default off): latency/byte probe populated by
-        # repro.obs.Observer.attach. Reads and writes stay untimed at None.
+        # Observability hooks (default off): latency/byte probe and metrics
+        # registry populated by repro.obs.Observer.attach / attach_metrics.
+        # Reads and writes stay untimed while both are None.
         self.probe: BackingProbe | None = None
+        self.metrics: MetricsRegistry | None = None
 
     @classmethod
     def from_layout(cls, layout: "StorageLayout",
@@ -83,21 +86,31 @@ class MemoryBackingStore:
             raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
 
     def read(self, item: int, out: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         self._check(item)
         np.copyto(out, self._data[item])
-        if probe is not None:
-            probe.record_read(time.perf_counter() - t0, out.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_read(dt, out.nbytes)
+            if mx is not None:
+                mx.observe("backing_read_seconds", dt)
 
     def write(self, item: int, data: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         self._check(item)
         np.copyto(self._data[item], data)
         self._present[item] = True
-        if probe is not None:
-            probe.record_write(time.perf_counter() - t0, data.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_write(dt, data.nbytes)
+            if mx is not None:
+                mx.observe("backing_write_seconds", dt)
 
     def has(self, item: int) -> bool:
         return bool(self._present[item])
@@ -134,8 +147,9 @@ class FileBackingStore:
         self._fh.truncate(self.num_items * self.item_bytes)
         self._fd = self._fh.fileno()
         self._closed = False
-        # Observability hook (default off), see MemoryBackingStore.probe.
+        # Observability hooks (default off), see MemoryBackingStore.probe.
         self.probe: BackingProbe | None = None
+        self.metrics: MetricsRegistry | None = None
 
     @classmethod
     def from_layout(cls, path: "str | os.PathLike[str]", layout: "StorageLayout",
@@ -158,8 +172,9 @@ class FileBackingStore:
             raise BackingStoreError(
                 f"read buffer mismatch: {out.nbytes} bytes vs item width {self.item_bytes}"
             )
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         offset = self._offset(item)
         view = memoryview(out.reshape(-1).view(np.uint8))
         done = 0
@@ -170,8 +185,12 @@ class FileBackingStore:
                     f"short read for item {item}: {done}/{self.item_bytes} bytes"
                 )
             done += got
-        if probe is not None:
-            probe.record_read(time.perf_counter() - t0, self.item_bytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_read(dt, self.item_bytes)
+            if mx is not None:
+                mx.observe("backing_read_seconds", dt)
 
     def write(self, item: int, data: np.ndarray) -> None:
         if data.dtype != self.dtype or not data.flags.c_contiguous:
@@ -180,8 +199,9 @@ class FileBackingStore:
             raise BackingStoreError(
                 f"write buffer mismatch: {data.nbytes} bytes vs item width {self.item_bytes}"
             )
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         offset = self._offset(item)
         view = memoryview(data.reshape(-1).view(np.uint8))
         done = 0
@@ -192,8 +212,12 @@ class FileBackingStore:
                     f"short write for item {item}: {done}/{self.item_bytes} bytes"
                 )
             done += put
-        if probe is not None:
-            probe.record_write(time.perf_counter() - t0, self.item_bytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_write(dt, self.item_bytes)
+            if mx is not None:
+                mx.observe("backing_write_seconds", dt)
 
     def flush(self) -> None:
         if not self._closed:
@@ -233,9 +257,10 @@ class MultiFileBackingStore:
             )
             for f in range(num_files)
         ]
-        # Observability hook (default off): timed around the whole striped
-        # transfer; the per-stripe child stores keep their probes at None.
+        # Observability hooks (default off): timed around the whole striped
+        # transfer; the per-stripe child stores keep their hooks at None.
         self.probe: BackingProbe | None = None
+        self.metrics: MetricsRegistry | None = None
 
     @classmethod
     def from_layout(cls, directory: "str | os.PathLike[str]",
@@ -251,20 +276,30 @@ class MultiFileBackingStore:
         return self._files[item % self.num_files], item // self.num_files
 
     def read(self, item: int, out: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         fh, local = self._locate(item)
         fh.read(local, out)
-        if probe is not None:
-            probe.record_read(time.perf_counter() - t0, out.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_read(dt, out.nbytes)
+            if mx is not None:
+                mx.observe("backing_read_seconds", dt)
 
     def write(self, item: int, data: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         fh, local = self._locate(item)
         fh.write(local, data)
-        if probe is not None:
-            probe.record_write(time.perf_counter() - t0, data.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_write(dt, data.nbytes)
+            if mx is not None:
+                mx.observe("backing_write_seconds", dt)
 
     def close(self) -> None:
         for fh in self._files:
@@ -298,9 +333,10 @@ class SimulatedDiskBackingStore:
         self.num_items = self._inner.num_items
         self.item_bytes = int(np.prod(item_shape)) * np.dtype(dtype).itemsize
         self._time_lock = threading.Lock()
-        # Observability hook (default off): with sleep=True the histogram
-        # reflects the modelled device latency; without it, the RAM copy.
+        # Observability hooks (default off): with sleep=True the histograms
+        # reflect the modelled device latency; without it, the RAM copy.
         self.probe: BackingProbe | None = None
+        self.metrics: MetricsRegistry | None = None
 
     @classmethod
     def from_layout(cls, layout: "StorageLayout",
@@ -322,20 +358,30 @@ class SimulatedDiskBackingStore:
             time.sleep(cost)
 
     def read(self, item: int, out: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         self._inner.read(item, out)
         self._charge()
-        if probe is not None:
-            probe.record_read(time.perf_counter() - t0, out.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_read(dt, out.nbytes)
+            if mx is not None:
+                mx.observe("backing_read_seconds", dt)
 
     def write(self, item: int, data: np.ndarray) -> None:
-        probe = self.probe
-        t0 = time.perf_counter() if probe is not None else 0.0
+        probe, mx = self.probe, self.metrics
+        timed = probe is not None or mx is not None
+        t0 = time.perf_counter() if timed else 0.0
         self._inner.write(item, data)
         self._charge()
-        if probe is not None:
-            probe.record_write(time.perf_counter() - t0, data.nbytes)
+        if timed:
+            dt = time.perf_counter() - t0
+            if probe is not None:
+                probe.record_write(dt, data.nbytes)
+            if mx is not None:
+                mx.observe("backing_write_seconds", dt)
 
     def close(self) -> None:
         self._inner.close()

@@ -25,10 +25,15 @@ so the demand miss/read rates (the Fig. 2–4 metrics) stay untouched:
 from __future__ import annotations
 
 import threading
+import time
+from typing import TYPE_CHECKING
 
 from repro.core.backing import SimulatedDiskBackingStore
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.spans import SpanRecorder
 
 
 def _validated_depth(depth: int) -> int:
@@ -130,6 +135,10 @@ class ThreadedPrefetcher:
         self._deferred: set[int] = set()  # guarded-by: _cond
         self._last_progress = -1  # guarded-by: _cond
         self._stop = False  # guarded-by: _cond
+        # Observability hook (default off): a SpanRecorder receiving one
+        # interval per prefetch_load attempt. Set by repro.obs.Observer;
+        # recording is lock-free (ring append), read without the lock.
+        self.spans: SpanRecorder | None = None
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="prefetcher")
         self._thread.start()
@@ -202,7 +211,13 @@ class ThreadedPrefetcher:
                     # progress signals normally wake us immediately.
                     store._cond.wait(timeout=0.1)
             item, horizon = target
-            if not store.prefetch_load(item, protect=horizon):
+            sp = self.spans
+            t0 = time.perf_counter() if sp is not None else 0.0
+            loaded = store.prefetch_load(item, protect=horizon)
+            if sp is not None:
+                sp.complete("prefetch_load", t0, time.perf_counter() - t0,
+                            {"item": item, "loaded": loaded})
+            if not loaded:
                 tr = store._tracer
                 if tr is not None:
                     # The prefetch pipeline stalled: no evictable slot (or a

@@ -27,6 +27,7 @@ from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
 
@@ -159,6 +160,23 @@ class TieredVectorStore:
         """
         self.device.attach_tracer(tracer)
         self.host.attach_tracer(tracer)
+
+    @property
+    def metrics(self) -> "MetricsRegistry | None":
+        """The attached metrics registry (front-door tier), if any."""
+        return self.device.metrics
+
+    def attach_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Attach (or with ``None`` detach) a registry to the DEVICE tier.
+
+        Only the front-door tier registers a collector: both tiers share
+        one metric namespace, so collecting both would overwrite each
+        other's counters on every scrape. The device-tier view matches
+        what :attr:`stats` reports; attach a registry directly via
+        ``store.host.attach_metrics`` when the host-tier (disk-transfer)
+        counters are wanted instead.
+        """
+        self.device.attach_metrics(registry)
 
     def validate(self) -> None:
         """Check both tiers' invariants plus the cross-tier geometry.

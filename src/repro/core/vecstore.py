@@ -66,6 +66,7 @@ from repro.core.writebehind import WriteBehindQueue
 from repro.errors import BorrowError, OutOfCoreError, PinnedSlotError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
 #: Smallest legal slot count: computing one ancestral vector needs it plus
@@ -306,11 +307,12 @@ class AncestralVectorStore:
         self._sanitize = _sanitize_default() if sanitize is None else bool(sanitize)
         self._slot_generation = np.zeros(self.num_slots, dtype=np.int64)  # guarded-by: _lock
         self._borrows: list[weakref.ref] = []  # guarded-by: _lock
-        # Observability hook (default off). Written only from the compute
-        # thread via attach_tracer; emissions themselves are lock-free
-        # (the tracer's ring append is GIL-atomic), so reading the
-        # reference without the lock from the prefetch path is safe.
+        # Observability hooks (default off). Written only from the compute
+        # thread via attach_tracer/attach_metrics; emissions themselves are
+        # lock-free (the tracer's ring append is GIL-atomic), so reading
+        # the references without the lock from the prefetch path is safe.
         self._tracer: Tracer | None = None
+        self._metrics: MetricsRegistry | None = None
         if int(writeback_depth) > 0:
             self._writeback = WriteBehindQueue(
                 self.backing, self.item_shape, self.dtype,
@@ -347,6 +349,61 @@ class AncestralVectorStore:
         self._tracer = tracer
         if self._writeback is not None:
             self._writeback.tracer = tracer
+
+    @property
+    def metrics(self) -> "MetricsRegistry | None":
+        """The attached metrics registry, or ``None`` when metrics are off."""
+        return self._metrics
+
+    def attach_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Attach (or with ``None`` detach) a live metrics registry.
+
+        Registers a pull collector that copies the store's counters and
+        slot/queue gauges into the registry at scrape/snapshot time — the
+        demand path itself is untouched (passivity) — and propagates the
+        registry to the backing store and write-behind queue so
+        physical-I/O latency histograms land in the same place. Call from
+        the compute thread only, ideally before the workload starts.
+        """
+        old = self._metrics
+        if old is not None:
+            old.unregister_collector(self._collect_metrics)
+        self._metrics = registry
+        backing_any: Any = self.backing
+        if hasattr(backing_any, "metrics"):
+            backing_any.metrics = registry
+        if self._writeback is not None:
+            self._writeback.metrics = registry
+        if registry is not None:
+            registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Pull collector: copy counters and live gauges into the registry.
+
+        Runs on whichever thread scrapes/snapshots. The counter block is
+        read under the store lock (one consistent cut); the write-behind
+        queue depth is read after releasing it, respecting the
+        store-lock → queue-lock order.
+        """
+        registry = self._metrics
+        if registry is None:
+            return
+        with self._cond:
+            counters = dict(self.stats._counters())
+            occupied = self.num_slots - len(self._free)
+            dirty = int(np.count_nonzero(self._dirty))
+            inflight = len(self._inflight)
+            untouched = len(self._prefetched_untouched)
+        for name, value in counters.items():
+            registry.counter_set(name, value)
+        registry.gauge_set("slots_total", self.num_slots)
+        registry.gauge_set("slots_occupied", occupied)
+        registry.gauge_set("slots_dirty", dirty)
+        registry.gauge_set("loads_inflight", inflight)
+        registry.gauge_set("prefetch_untouched", untouched)
+        wb = self._writeback
+        registry.gauge_set("writeback_queue_depth",
+                           wb.pending() if wb is not None else 0)
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)

@@ -50,6 +50,8 @@ from repro.errors import OutOfCoreError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.histogram import LogHistogram
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
     from repro.obs.tracer import Tracer
 
 
@@ -91,10 +93,15 @@ class WriteBehindQueue:
         self.stats = stats if stats is not None else IoStats()
         self.stats.writeback_enabled = True
         # Observability hooks (default off): a Tracer receiving
-        # enqueue/drain/stall events and a LogHistogram of drain latencies.
-        # Set by AncestralVectorStore.attach_tracer / repro.obs.Observer.
+        # enqueue/drain/stall events, a LogHistogram of drain latencies,
+        # a MetricsRegistry fed drain-latency observations, and a
+        # SpanRecorder receiving drain/stall intervals. Set by
+        # AncestralVectorStore.attach_tracer/attach_metrics and
+        # repro.obs.Observer.
         self.tracer: Tracer | None = None
         self.drain_hist: LogHistogram | None = None
+        self.metrics: MetricsRegistry | None = None
+        self.spans: SpanRecorder | None = None
 
         self._cond = threading.Condition()
         self._staged: dict[int, np.ndarray] = {}   # guarded-by: _cond  (item -> newest staged copy)
@@ -144,9 +151,14 @@ class WriteBehindQueue:
                 self._cond.wait()
                 if self._stop:
                     raise OutOfCoreError("write-behind queue is closed")
-            if stalled and tr is not None:
-                tr.emit("stall", item=item,
-                        dur=time.perf_counter() - stall_t0)
+            if stalled:
+                stall_dur = time.perf_counter() - stall_t0
+                if tr is not None:
+                    tr.emit("stall", item=item, dur=stall_dur)
+                sp = self.spans
+                if sp is not None:
+                    sp.complete("writeback_stall", stall_t0, stall_dur,
+                                {"item": item})
             if item in self._staged:  # re-check after waiting
                 np.copyto(self._staged[item], data)
                 if tr is not None:
@@ -239,6 +251,13 @@ class WriteBehindQueue:
                 self.drain_hist.record(write_dur)
             if tr is not None:
                 tr.emit("writeback_drain", item=item, dur=write_dur)
+            mx = self.metrics
+            if mx is not None:
+                mx.observe("writeback_drain_seconds", write_dur)
+            sp = self.spans
+            if sp is not None:
+                sp.complete("writeback_drain", write_t0, write_dur,
+                            {"item": item})
             with self._cond:
                 self._writing.discard(item)
                 self.stats.writeback_writes += 1

@@ -23,12 +23,14 @@ import json
 from typing import Any, Iterable, Sequence
 
 #: Version tag of the ``BENCH_profile.json`` document layout.
-PROFILE_SCHEMA = "repro-profile/1"
+#: ``/2`` added the ``metrics`` block (a full registry snapshot) and the
+#: counter/registry consistency requirements below.
+PROFILE_SCHEMA = "repro-profile/2"
 
 #: Top-level keys every profile document must carry.
 _REQUIRED_TOP = (
     "schema", "workload", "config", "phases", "counters", "histograms",
-    "events",
+    "events", "metrics",
 )
 #: Required sub-keys of each per-phase timing entry.
 _PHASE_KEYS = ("seconds", "calls")
@@ -44,6 +46,8 @@ _COUNTER_KEYS = (
 )
 #: Required sub-keys of the event summary block.
 _EVENT_KEYS = ("emitted", "captured", "dropped", "by_type")
+#: Required sub-keys of the metrics registry snapshot block.
+_METRICS_KEYS = ("counters", "gauges", "histograms")
 
 
 def records_to_jsonl(records: Iterable[Any], path: str) -> int:
@@ -195,4 +199,31 @@ def validate_profile(doc: Any) -> list[str]:
         by_type = events.get("by_type")
         if by_type is not None and not isinstance(by_type, dict):
             problems.append("events.by_type must be an object")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for key in _METRICS_KEYS:
+            if not isinstance(metrics.get(key), dict):
+                problems.append(f"metrics missing object {key!r}")
+        reg_counters = metrics.get("counters")
+        if isinstance(counters, dict) and isinstance(reg_counters, dict):
+            # The registry snapshot is collected from the same IoStats the
+            # counter block reports: any disagreement on a shared counter
+            # means a stale snapshot or a forged document.
+            for key in sorted(set(counters) & set(reg_counters)):
+                if counters[key] != reg_counters[key]:
+                    problems.append(
+                        f"counter {key!r} disagrees with the metrics "
+                        f"snapshot ({counters[key]} vs {reg_counters[key]})")
+        if isinstance(events, dict) and isinstance(reg_counters, dict):
+            for ev_key, metric in (("emitted", "trace_events_emitted"),
+                                   ("dropped", "trace_events_dropped")):
+                have, want = events.get(ev_key), reg_counters.get(metric)
+                if (isinstance(have, int) and isinstance(want, int)
+                        and have != want):
+                    problems.append(
+                        f"events.{ev_key} ({have}) disagrees with "
+                        f"metrics counter {metric!r} ({want})")
     return problems

@@ -1,0 +1,277 @@
+"""A typed metrics registry with a frozen name catalogue (Prometheus-style).
+
+Counters, gauges and histograms for the out-of-core pipeline, mirroring
+the counter-registry discipline of :mod:`repro.core.stats`: the set of
+legal metric names is the closed catalogue :data:`METRIC_NAMES`, every
+name carries a kind and help string in :data:`METRIC_EXPOSITION`, and
+``python -m repro.analysis`` (rules MET001/MET002) keeps emit sites, the
+catalogue and the ``BENCH_results.json`` schema three-way synced — a
+typo'd metric name fails statically *and* at runtime instead of silently
+vanishing from every dashboard.
+
+Update model (hybrid push/pull, lock-cheap like the tracer):
+
+* **pull** — components register a *collector* callback
+  (:meth:`MetricsRegistry.register_collector`) that copies their
+  authoritative state (``IoStats`` counters, slot occupancy, queue depth)
+  into the registry at scrape/snapshot time. The hot path pays nothing:
+  no per-event registry traffic, and the counters stay bit-identical to
+  an uninstrumented run (passivity).
+* **push** — genuinely event-shaped observations (physical I/O latency,
+  store-wait time) call :meth:`MetricsRegistry.observe` at the emission
+  site, guarded by a single ``is None`` test exactly like tracer emits.
+
+Thread-safety follows the single-writer-per-name rule of
+:class:`~repro.core.stats.IoStats`: each counter/gauge has one writing
+component, values are plain (GIL-atomic) dict slots, and collectors are
+serialised under one registry lock at collection time, so concurrent
+scrapes observe monotone counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import OutOfCoreError
+from repro.obs.histogram import LogHistogram
+
+#: The closed metric catalogue. Every registry update site must use one of
+#: these literals (analysis rule MET001); the catalogue, the exposition
+#: table below and ``repro.bench.schema.RESULT_METRICS`` stay in sync
+#: (rule MET002).
+METRIC_NAMES = frozenset({
+    # -- counters mirroring the IoStats._counters() registry, one-to-one --
+    "requests",
+    "hits",
+    "misses",
+    "reads",
+    "read_skips",
+    "writes",
+    "write_skips",
+    "bytes_read",
+    "bytes_written",
+    "prefetch_reads",
+    "prefetch_bytes",
+    "prefetch_hits",
+    "prefetch_unused",
+    "writeback_writes",
+    "writeback_bytes",
+    "writeback_stalls",
+    "writeback_read_hits",
+    # -- engine phase counters (seconds are monotone totals) --
+    "phase_plan_seconds",
+    "phase_plan_calls",
+    "phase_kernel_seconds",
+    "phase_kernel_calls",
+    "phase_store_wait_seconds",
+    "phase_store_wait_calls",
+    # -- tracer ring-buffer accounting --
+    "trace_events_emitted",
+    "trace_events_dropped",
+    # -- live gauges --
+    "slots_total",
+    "slots_occupied",
+    "slots_dirty",
+    "writeback_queue_depth",
+    "loads_inflight",
+    "prefetch_untouched",
+    # -- latency histograms --
+    "backing_read_seconds",
+    "backing_write_seconds",
+    "writeback_drain_seconds",
+    "store_wait_seconds",
+})
+
+#: ``name -> (kind, help)`` exposition table: drives the ``# TYPE`` /
+#: ``# HELP`` lines of the Prometheus text format. Keys must equal
+#: :data:`METRIC_NAMES` and kinds must be valid Prometheus types
+#: (analysis rule MET002).
+METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
+    "requests": ("counter", "Demand get() calls on the vector store"),
+    "hits": ("counter", "Requests satisfied from a resident slot"),
+    "misses": ("counter", "Requests that required a slot placement"),
+    "reads": ("counter", "Demand-charged vector reads"),
+    "read_skips": ("counter", "Reads elided by the write-only rule (§3.4)"),
+    "writes": ("counter", "Demand write-backs at eviction/flush time"),
+    "write_skips": ("counter", "Write-backs elided by clean-eviction tracking"),
+    "bytes_read": ("counter", "Bytes demand-read from the backing store"),
+    "bytes_written": ("counter", "Bytes written toward the backing store"),
+    "prefetch_reads": ("counter", "Physical reads issued ahead of demand"),
+    "prefetch_bytes": ("counter", "Bytes physically read ahead of demand"),
+    "prefetch_hits": ("counter", "Demand requests served by a prefetched slot"),
+    "prefetch_unused": ("counter", "Prefetched vectors never consumed"),
+    "writeback_writes": ("counter", "Victims drained by the writer thread(s)"),
+    "writeback_bytes": ("counter", "Bytes drained by the writer thread(s)"),
+    "writeback_stalls": ("counter", "Evictions blocked on a full staging buffer"),
+    "writeback_read_hits": ("counter", "Reads served from the staging buffer"),
+    "phase_plan_seconds": ("counter", "Engine time planning traversals"),
+    "phase_plan_calls": ("counter", "Engine plan laps"),
+    "phase_kernel_seconds": ("counter", "Engine time in likelihood kernels"),
+    "phase_kernel_calls": ("counter", "Engine kernel laps"),
+    "phase_store_wait_seconds": ("counter", "Engine time waiting on store.get"),
+    "phase_store_wait_calls": ("counter", "Engine store-wait laps"),
+    "trace_events_emitted": ("counter", "Trace records emitted to the ring"),
+    "trace_events_dropped": ("counter", "Trace records lost to ring overflow"),
+    "slots_total": ("gauge", "RAM slot capacity m of the store"),
+    "slots_occupied": ("gauge", "Slots currently holding a vector"),
+    "slots_dirty": ("gauge", "Occupied slots with unpersisted modifications"),
+    "writeback_queue_depth": ("gauge", "Items staged but not yet durable"),
+    "loads_inflight": ("gauge", "Slot loads (demand or prefetch) in flight"),
+    "prefetch_untouched": ("gauge", "Prefetched residents awaiting first use"),
+    "backing_read_seconds": ("histogram", "Physical backing-store read latency"),
+    "backing_write_seconds": ("histogram", "Physical backing-store write latency"),
+    "writeback_drain_seconds": ("histogram", "Write-behind drain latency"),
+    "store_wait_seconds": ("histogram", "Compute-thread wait per store.get"),
+}
+
+#: Prefix prepended to every metric name in the text exposition.
+PROM_PREFIX = "repro_"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers stay integral, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """One process-local registry over the frozen catalogue.
+
+    Build one, hand it to :meth:`repro.obs.Observer` (``metrics=True``) or
+    attach it directly via ``store.attach_metrics(registry)``, then read
+    it programmatically (:meth:`snapshot`, :meth:`value`) or serve it over
+    HTTP (:class:`repro.obs.server.MetricsServer`). Default off
+    everywhere: components hold ``metrics = None`` until attached, and
+    every push site is a single ``is None`` test.
+    """
+
+    def __init__(self) -> None:
+        self._kinds = {name: kind for name, (kind, _) in
+                       METRIC_EXPOSITION.items()}
+        self._counters: dict[str, int | float] = {
+            name: 0 for name, kind in self._kinds.items() if kind == "counter"}
+        self._gauges: dict[str, int | float] = {
+            name: 0 for name, kind in self._kinds.items() if kind == "gauge"}
+        self._hists: dict[str, LogHistogram] = {
+            name: LogHistogram() for name, kind in self._kinds.items()
+            if kind == "histogram"}
+        self._collectors: list[Callable[[], None]] = []
+        # Serialises collector callbacks (scrape-time only); push-side
+        # updates stay lock-free under the single-writer-per-name rule.
+        self._collect_lock = threading.Lock()
+
+    # -- catalogue validation ---------------------------------------------------
+
+    def _check(self, name: str, kind: str) -> None:
+        found = self._kinds.get(name)
+        if found is None:
+            raise OutOfCoreError(
+                f"unknown metric {name!r}: not in the METRIC_NAMES catalogue")
+        if found != kind:
+            raise OutOfCoreError(
+                f"metric {name!r} is a {found}, not a {kind}")
+
+    # -- update API (single writer per name) ------------------------------------
+
+    def inc(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` (default 1) to a counter."""
+        self._check(name, "counter")
+        self._counters[name] += n
+
+    def counter_set(self, name: str, value: int | float) -> None:
+        """Set a counter to an absolute value (collector use: the caller
+        derives ``value`` from a monotone source such as ``IoStats``)."""
+        self._check(name, "counter")
+        self._counters[name] = value
+
+    def gauge_set(self, name: str, value: int | float) -> None:
+        self._check(name, "gauge")
+        self._gauges[name] = value
+
+    def gauge_add(self, name: str, delta: int | float) -> None:
+        self._check(name, "gauge")
+        self._gauges[name] += delta
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one observation into a histogram metric."""
+        self._check(name, "histogram")
+        self._hists[name].record(seconds)
+
+    # -- collectors (pull side) -------------------------------------------------
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Register a callback run at every :meth:`collect` (idempotent)."""
+        with self._collect_lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    def unregister_collector(self, fn: Callable[[], None]) -> None:
+        """Remove a collector previously registered (missing is a no-op)."""
+        with self._collect_lock:
+            if fn in self._collectors:
+                self._collectors.remove(fn)
+
+    def collect(self) -> None:
+        """Run every registered collector (serialised; scrape-time only)."""
+        with self._collect_lock:
+            for fn in list(self._collectors):
+                fn()
+
+    # -- read API ----------------------------------------------------------------
+
+    def value(self, name: str) -> int | float:
+        """Current value of a counter or gauge (histograms: use snapshot).
+
+        Runs the registered pull collectors first, like :meth:`snapshot`,
+        so the answer reflects the live authoritative state.
+        """
+        self.collect()
+        kind = self._kinds.get(name)
+        if kind == "counter":
+            return self._counters[name]
+        if kind == "gauge":
+            return self._gauges[name]
+        if kind == "histogram":
+            raise OutOfCoreError(
+                f"metric {name!r} is a histogram; read it via snapshot()")
+        raise OutOfCoreError(
+            f"unknown metric {name!r}: not in the METRIC_NAMES catalogue")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Collect, then return ``{"counters", "gauges", "histograms"}``."""
+        self.collect()
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {k: self._hists[k].to_dict()
+                           for k in sorted(self._hists)},
+        }
+
+    def to_prometheus(self) -> str:
+        """Collect, then render the text exposition format (version 0.0.4)."""
+        self.collect()
+        lines: list[str] = []
+        for name in sorted(METRIC_EXPOSITION):
+            kind, help_text = METRIC_EXPOSITION[name]
+            full = PROM_PREFIX + name
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            if kind == "counter":
+                lines.append(f"{full} {_fmt(self._counters[name])}")
+            elif kind == "gauge":
+                lines.append(f"{full} {_fmt(self._gauges[name])}")
+            else:
+                hist = self._hists[name].to_dict()
+                cumulative = 0
+                for bucket in hist["buckets"]:
+                    cumulative += bucket["count"]
+                    lines.append(f'{full}_bucket{{le="{bucket["le"]:g}"}} '
+                                 f"{cumulative}")
+                lines.append(f'{full}_bucket{{le="+Inf"}} {hist["count"]}')
+                lines.append(f"{full}_sum {_fmt(hist['sum'])}")
+                lines.append(f"{full}_count {hist['count']}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,91 @@
+"""Opt-in Prometheus scrape endpoint over the stdlib ``http.server``.
+
+``MetricsServer`` binds a :class:`~repro.obs.metrics.MetricsRegistry` to
+``GET /metrics`` on a daemon thread. Nothing in the pipeline starts one
+implicitly — it exists only when the profile CLI is given
+``--metrics-port`` or a test/driver constructs it — so the default cost
+is exactly zero. Scrapes run collectors on the server thread; the
+compute/writer/prefetch threads are never blocked by a scrape.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from types import TracebackType
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves /metrics from the registry attached to the server."""
+
+    server: "MetricsServer"  # narrowed for attribute access
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API name
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path not in ("/", "/metrics"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.server.registry.to_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """A daemon-threaded scrape endpoint for one registry.
+
+    ``port=0`` binds an ephemeral port; read the resolved one from
+    :attr:`port`. Use as a context manager or call :meth:`start` /
+    :meth:`close` explicitly.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, registry: MetricsRegistry,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        super().__init__((host, port), _MetricsHandler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved when ``port=0`` was requested)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="metrics-server", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()

@@ -1,0 +1,150 @@
+"""Span timelines: nested begin/end intervals exported as Chrome trace JSON.
+
+Where the :class:`~repro.obs.tracer.Tracer` records point events and the
+Stopwatch records per-phase totals, spans keep *intervals with identity*:
+which thread was inside which phase when, so kernel/store_wait overlap
+with writeback drains and prefetch loads is finally visible on a
+timeline. The export target is the Chrome trace-event format (``ph: "X"``
+complete events), which loads directly into Perfetto / ``chrome://tracing``.
+
+Recording is lock-cheap by the same argument as the tracer: one
+``deque(maxlen=...)`` ring whose ``append`` is GIL-atomic, emit sites pay
+one ``is None`` test plus two ``perf_counter()`` calls, and overflow
+drops the oldest spans while the ``emitted`` counter keeps honest
+accounting. This module must stay importable without :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, NamedTuple
+
+
+class SpanRecord(NamedTuple):
+    """One completed interval on one thread."""
+
+    name: str  #: span name, e.g. "kernel", "writeback_drain"
+    start: float  #: time.perf_counter() at entry
+    dur: float  #: duration in seconds
+    thread: str  #: threading.current_thread().name at completion
+    args: dict[str, Any] | None  #: optional payload (item ids etc.)
+
+
+class SpanRecorder:
+    """Bounded ring buffer of completed spans.
+
+    Like the tracer: writers never block, the ring evicts oldest-first on
+    overflow, and :attr:`dropped` exposes how many spans were lost so an
+    exported timeline can never silently pretend to be complete.
+    """
+
+    def __init__(self, capacity: int = 1 << 18) -> None:
+        if capacity <= 0:
+            raise ValueError("SpanRecorder capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[SpanRecord] = deque(maxlen=capacity)
+        self._emitted = 0
+
+    # -- recording (any thread) -------------------------------------------------
+
+    def complete(self, name: str, start: float, dur: float,
+                 args: dict[str, Any] | None = None) -> None:
+        """Record an interval that just finished (GIL-atomic append)."""
+        self._emitted += 1
+        self._ring.append(SpanRecord(
+            name, start, dur, threading.current_thread().name, args))
+
+    @contextmanager
+    def span(self, name: str,
+             args: dict[str, Any] | None = None) -> Iterator[None]:
+        """Context manager recording the enclosed block as one span."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.complete(name, t0, time.perf_counter() - t0, args)
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total spans recorded, including any since evicted."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring overflow."""
+        return max(0, self._emitted - len(self._ring))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of retained spans in completion order."""
+        return list(self._ring)
+
+    def by_name(self) -> dict[str, int]:
+        """Retained span counts keyed by span name."""
+        out: dict[str, int] = {}
+        for rec in self._ring:
+            out[rec.name] = out.get(rec.name, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._emitted = 0
+
+    # -- export ------------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Render retained spans as a Chrome trace-event document.
+
+        Each thread name gets a stable integer ``tid`` (first-appearance
+        order) plus a ``thread_name`` metadata record, so Perfetto shows
+        one labelled track per thread ("MainThread", "writeback-0",
+        "prefetcher", ...). Timestamps are microseconds relative to the
+        earliest retained span.
+        """
+        records = self.records()
+        events: list[dict[str, Any]] = []
+        tids: dict[str, int] = {}
+        t_zero = min((r.start for r in records), default=0.0)
+        for rec in records:
+            tid = tids.setdefault(rec.thread, len(tids) + 1)
+            event: dict[str, Any] = {
+                "name": rec.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": round((rec.start - t_zero) * 1e6, 3),
+                "dur": round(rec.dur * 1e6, 3),
+            }
+            if rec.args:
+                event["args"] = rec.args
+            events.append(event)
+        meta: list[dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": 1,
+            "args": {"name": "repro out-of-core"},
+        }]
+        meta.extend({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": thread},
+        } for thread, tid in tids.items())
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+            fh.write("\n")

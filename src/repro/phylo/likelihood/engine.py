@@ -213,8 +213,13 @@ class LikelihoodEngine:
         # Per-phase timers (observability, default off): when a
         # repro.utils.timing.Stopwatch is attached — normally through
         # repro.obs.Observer — the engine accumulates "plan" / "kernel" /
-        # "store_wait" laps. Purely passive; numerics are unaffected.
+        # "store_wait" laps. A repro.obs.spans.SpanRecorder additionally
+        # captures each lap as a timeline interval, and a
+        # repro.obs.metrics.MetricsRegistry receives store-wait latency
+        # observations. All purely passive; numerics are unaffected.
         self.timers = None
+        self.spans = None
+        self.metrics = None
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -292,21 +297,33 @@ class LikelihoodEngine:
 
     def plan(self, u: int, v: int, full: bool = False) -> TraversalPlan:
         """Plan the CLV recomputations needed to evaluate edge ``(u, v)``."""
-        tm = self.timers
-        if tm is None:
+        tm, sp = self.timers, self.spans
+        if tm is None and sp is None:
             return plan_edge_traversal(self.tree, self.orientation, u, v, full)
-        with tm.lap("plan"):
-            return plan_edge_traversal(self.tree, self.orientation, u, v, full)
+        t0 = time.perf_counter()
+        out = plan_edge_traversal(self.tree, self.orientation, u, v, full)
+        dt = time.perf_counter() - t0
+        if tm is not None:
+            tm.add("plan", dt)
+        if sp is not None:
+            sp.complete("plan", t0, dt, {"steps": len(out.steps)})
+        return out
 
     def _timed_get(self, item: int, pins: tuple = (),
                    write_only: bool = False) -> np.ndarray:
         """``store.get`` with the wait charged to the ``store_wait`` phase."""
-        tm = self.timers
-        if tm is None:
+        tm, sp, mx = self.timers, self.spans, self.metrics
+        if tm is None and sp is None and mx is None:
             return self.store.get(item, pins=pins, write_only=write_only)
         t0 = time.perf_counter()
         out = self.store.get(item, pins=pins, write_only=write_only)
-        tm.add("store_wait", time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        if tm is not None:
+            tm.add("store_wait", dt)
+        if mx is not None:
+            mx.observe("store_wait_seconds", dt)
+        if sp is not None:
+            sp.complete("store_wait", t0, dt, {"item": int(item)})
         return out
 
     def plan_accesses(self, plan: TraversalPlan) -> list[tuple[int, tuple, bool]]:
@@ -351,6 +368,8 @@ class LikelihoodEngine:
         """
         if self.prefetcher is not None and plan.steps:
             self.prefetcher.feed(self.plan_accesses(plan))
+        sp_plan = self.spans
+        exec_t0 = time.perf_counter() if sp_plan is not None else 0.0
         tree = self.tree
         layout = self.layout
         for step in plan.steps:
@@ -390,17 +409,29 @@ class LikelihoodEngine:
                                     pins=self._block_pins([left, right], b),
                                     write_only=True), span)
                 block_counts = counts if span == counts.shape[0] else counts[lo:hi]
-                tm = self.timers
-                if tm is None:
+                tm, sp = self.timers, self.spans
+                if tm is None and sp is None:
                     kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
                                        l_codes, r_codes, self._code_matrix,
                                        block_counts, self.scaling)
                 else:
-                    with tm.lap("kernel"):
-                        kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
-                                           l_codes, r_codes, self._code_matrix,
-                                           block_counts, self.scaling)
+                    k0 = time.perf_counter()
+                    kernels.update_clv(out, P_left, P_right, l_clv, r_clv,
+                                       l_codes, r_codes, self._code_matrix,
+                                       block_counts, self.scaling)
+                    k_dt = time.perf_counter() - k0
+                    if tm is not None:
+                        tm.add("kernel", k_dt)
+                    if sp is not None:
+                        sp.complete("kernel", k0, k_dt,
+                                    {"node": int(node), "block": b})
             self.orientation.set(node, step.toward)
+        if sp_plan is not None:
+            # The enclosing interval: kernel/store_wait spans nest inside
+            # it on the compute-thread track of the exported timeline.
+            sp_plan.complete("execute_plan", exec_t0,
+                             time.perf_counter() - exec_t0,
+                             {"steps": len(plan.steps)})
 
     # -- likelihood evaluation ----------------------------------------------------------
 

@@ -22,7 +22,14 @@ Examples
     python -m repro.profile --workload full --fraction 0.25 --traversals 3
     python -m repro.profile --workload search --policy lru --fraction 0.5 \\
         --backing file --events events.jsonl --timeline timeline.json
+    python -m repro.profile --workload search --metrics-port 9107 \\
+        --spans-out trace.json
     python -m repro.profile --validate BENCH_profile.json
+
+Every profile now embeds a full metrics-registry snapshot (the same
+counters a live ``/metrics`` scrape exposes); ``--metrics-port`` serves
+the registry over HTTP for the duration of the run, and ``--spans-out``
+writes a Chrome trace-event timeline loadable in Perfetto.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.core.stats import DEMAND_COUNTERS, EVICTION_COUNTERS
 from repro.errors import ReproError
 from repro.obs import (
     PROFILE_SCHEMA,
+    MetricsServer,
     Observer,
     records_to_jsonl,
     slot_timeline,
@@ -181,16 +189,25 @@ def run_profile(args) -> int:
         return 2
     alignment, tree = _dataset(args)
     with tempfile.TemporaryDirectory(prefix="repro-profile-") as workdir:
-        obs = Observer(capacity=args.trace_capacity)
+        obs = Observer(capacity=args.trace_capacity, metrics=True,
+                       spans=bool(args.spans_out))
         engine = _build_engine(alignment, tree, args, workdir)
         obs.attach(engine)
+        server = None
         try:
+            if args.metrics_port is not None:
+                server = MetricsServer(obs.metrics,
+                                       port=args.metrics_port).start()
+                print(f"metrics endpoint: {server.url}")
             t0 = time.perf_counter()
             lnl = _run_workload(engine, args)
             engine.store.drain()
             wall = time.perf_counter() - t0
             counters = _counters_block(engine)
+            metrics_snapshot = obs.metrics.snapshot()
         finally:
+            if server is not None:
+                server.close()
             engine.close()
 
         doc = {
@@ -203,6 +220,7 @@ def run_profile(args) -> int:
             "counters": counters,
             "histograms": obs.histograms(),
             "events": obs.event_summary(),
+            "metrics": metrics_snapshot,
         }
         problems = validate_profile(doc)
         if problems:  # a bug in this module, not in the caller's input
@@ -222,6 +240,11 @@ def run_profile(args) -> int:
         print(f"events          : {ev['emitted']} emitted, "
               f"{ev['captured']} captured, {ev['dropped']} dropped")
 
+        if args.spans_out:
+            obs.spans.write_chrome_trace(args.spans_out)
+            print(f"span timeline   : {args.spans_out} "
+                  f"({len(obs.spans)} spans, {obs.spans.dropped} dropped; "
+                  "load in Perfetto / chrome://tracing)")
         if args.events:
             n = records_to_jsonl(obs.tracer.records(), args.events)
             print(f"event dump      : {args.events} ({n} records)")
@@ -317,6 +340,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-o", "--out", default="BENCH_profile.json",
                         help="profile output path (default: "
                              "BENCH_profile.json)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve the live metrics registry as Prometheus "
+                             "text on http://127.0.0.1:PORT/metrics for the "
+                             "duration of the run (0 = ephemeral port)")
+    parser.add_argument("--spans-out", metavar="PATH",
+                        help="also record span timelines and write them as "
+                             "Chrome trace-event JSON (Perfetto-loadable)")
     parser.add_argument("--events", metavar="PATH",
                         help="also dump the raw event stream as JSONL")
     parser.add_argument("--timeline", metavar="PATH",

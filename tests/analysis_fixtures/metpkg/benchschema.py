@@ -1,0 +1,7 @@
+"""Fixture: benchmark result metrics referencing an unknown catalogue name."""
+
+
+RESULT_METRICS = (
+    "requests_total",
+    "imaginary_total",  # expect: MET002 -- not in the METRIC_NAMES catalogue
+)

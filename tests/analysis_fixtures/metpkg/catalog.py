@@ -1,0 +1,16 @@
+"""Fixture: metric catalogue out of sync with its exposition table."""
+
+
+METRIC_NAMES = frozenset({
+    "requests_total",
+    "slots_occupied",
+    "Bad-Name",  # expect: MET002 -- not a valid Prometheus name suffix
+    "orphan_metric",  # expect: MET002 -- no METRIC_EXPOSITION entry
+})
+
+METRIC_EXPOSITION = {
+    "requests_total": ("counter", "demand requests observed"),
+    "slots_occupied": ("thermometer", "bogus"),  # expect: MET002 -- unknown kind
+    "Bad-Name": ("gauge", "name itself is the violation"),
+    "ghost_metric": ("gauge", "bogus"),  # expect: MET002 -- key not declared
+}

@@ -1,0 +1,18 @@
+"""Fixture: registry call sites, one with a typo'd metric name."""
+
+
+class Registry:
+    def inc(self, name, n=1):
+        pass
+
+    def gauge_set(self, name, value):
+        pass
+
+    def observe(self, name, seconds):
+        pass
+
+
+def probe(registry, latency):
+    registry.inc("requests_total")
+    registry.gauge_set("slots_ocupied", 3)  # expect: MET001 -- typo'd name
+    registry.observe(latency, 0.5)  # non-literal first arg: never flagged

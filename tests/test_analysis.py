@@ -19,7 +19,7 @@ FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 EXPECT_RE = re.compile(r"#\s*expect(-next-line)?:\s*([A-Z0-9 ]+?)\s*(?:--.*)?$")
 
 PACKAGES = ["lockpkg", "counterpkg", "incoherentpkg", "leakpkg", "detpkg",
-            "suppresspkg", "evtpkg"]
+            "suppresspkg", "evtpkg", "metpkg"]
 
 
 def expected_findings(pkg: str) -> list[tuple[str, int, str]]:

@@ -314,11 +314,29 @@ class TestExporters:
         assert any("missing top-level" in p for p in validate_profile({}))
         doc = {"schema": "other/9", "workload": "full", "config": {},
                "phases": {"plan": {"seconds": 0.0, "calls": 1}},
-               "counters": {}, "histograms": {}, "events": {}}
+               "counters": {}, "histograms": {}, "events": {},
+               "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}
         problems = validate_profile(doc)
         assert any("schema" in p for p in problems)
         assert any("counters missing" in p for p in problems)
         assert any("missing histogram" in p for p in problems)
+
+    def test_validate_profile_checks_metrics_consistency(self):
+        """The registry snapshot must agree with the counter block."""
+        doc = {"schema": "other/9", "workload": "full", "config": {},
+               "phases": {"plan": {"seconds": 0.0, "calls": 1}},
+               "counters": {"requests": 10},
+               "histograms": {}, "events": {"emitted": 5, "dropped": 0},
+               "metrics": {"counters": {"requests": 7,
+                                        "trace_events_emitted": 4},
+                           "gauges": {}, "histograms": {}}}
+        problems = validate_profile(doc)
+        assert any("disagrees with the metrics snapshot" in p
+                   for p in problems)
+        assert any("trace_events_emitted" in p for p in problems)
+        # missing metrics block entirely is also a violation
+        missing = {k: v for k, v in doc.items() if k != "metrics"}
+        assert any("metrics" in p for p in validate_profile(missing))
 
 
 class TestProfileCli:
