@@ -6,6 +6,12 @@ read skipping on/off, Fig. 5 runtime under a simulated HDD (out-of-core
 vs OS paging), and the §4.3 lazy SPR search — and writes a versioned
 ``BENCH_results.json`` (:mod:`repro.bench.schema`).
 
+The Fig. 5 workloads also run under the batched kernel schedule
+(``--batch``, :mod:`repro.phylo.likelihood.schedule`); the runner fails
+unless each batched entry reproduces its unbatched partner's likelihood
+and I/O counters bit-for-bit, and it records the wall-time speedup as a
+derived metric so ``--baseline`` tracks kernel regressions.
+
 Every out-of-core workload runs with a live metrics registry attached;
 the reported counters come from the engine's :class:`IoStats` and are
 cross-checked against the registry snapshot, so a bench run doubles as
@@ -61,7 +67,8 @@ def _geometry(ctx):
 
 
 def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
-                  backing_kind="memory", store=None):
+                  backing_kind="memory", store=None, batch=None,
+                  kernel_threads=1):
     from repro.core.backing import SimulatedDiskBackingStore
     from repro.core.layout import make_layout
     from repro.phylo.likelihood.engine import LikelihoodEngine
@@ -84,6 +91,7 @@ def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
         layout=lay, fraction=FRACTION, policy=policy,
         policy_kwargs=policy_kwargs, backing=backing,
         read_skipping=read_skipping,
+        batch=batch, kernel_threads=kernel_threads,
     )
 
 
@@ -177,6 +185,21 @@ def _workloads(ctx):
                                  layout="block"),
            full, cfg(policy="lru", layout="block",
                      block_sites=ctx["block_sites"], backing="simulated-hdd"))
+    yield ("fig5_ooc_whole_batch", "fig5",
+           lambda: _build_engine(ctx, backing_kind="simulated",
+                                 batch=ctx["batch"],
+                                 kernel_threads=ctx["kernel_threads"]),
+           full, cfg(policy="lru", layout="whole", backing="simulated-hdd",
+                     batch=ctx["batch"],
+                     kernel_threads=ctx["kernel_threads"]))
+    yield ("fig5_ooc_block_batch", "fig5",
+           lambda: _build_engine(ctx, backing_kind="simulated",
+                                 layout="block", batch=ctx["batch"],
+                                 kernel_threads=ctx["kernel_threads"]),
+           full, cfg(policy="lru", layout="block",
+                     block_sites=ctx["block_sites"], backing="simulated-hdd",
+                     batch=ctx["batch"],
+                     kernel_threads=ctx["kernel_threads"]))
     yield ("fig5_paging", "fig5",
            lambda: _build_engine(ctx, store=_paging_store(ctx)),
            full, cfg(policy=None, layout="paged", backing="simulated-hdd"))
@@ -189,6 +212,22 @@ def _workloads(ctx):
            search, cfg(policy="lru", layout="block",
                        block_sites=ctx["block_sites"], radius=radius,
                        workload="search"))
+
+
+def _warm_kernels(ctx):
+    """One throwaway traversal per execution path before anything is timed.
+
+    The first numpy contraction in a process pays one-off setup (BLAS
+    initialisation, einsum path search, allocator growth) that would
+    otherwise be charged to whichever workload happens to run first and
+    skew the batched-vs-unbatched speedup both ways.
+    """
+    for batch in (None, 2):
+        engine = _build_engine(ctx, batch=batch)
+        try:
+            engine.full_traversals(1)
+        finally:
+            engine.close()
 
 
 def _paging_store(ctx):
@@ -209,27 +248,83 @@ def run_bench(args) -> int:
         "traversals": args.traversals,
         "radius": args.radius,
         "block_sites": args.block_sites,
+        "batch": args.batch,
+        "kernel_threads": args.kernel_threads,
     }
     ctx["geometry"] = _geometry(ctx)
+    _warm_kernels(ctx)
 
     workloads = {}
     for name, figure, build, run, config in _workloads(ctx):
-        engine = build()
-        store = engine.store
-        use_registry = hasattr(store, "attach_metrics")
-        entry = _run_entry(ctx, figure, engine, run, config,
-                           use_registry=use_registry)
-        if name == "fig5_paging":
-            entry["simulated_io_seconds"] = float(store.simulated_seconds)
-            entry["faults"] = int(store.faults)
-        elif figure == "fig5":
-            entry["simulated_io_seconds"] = float(
-                store.backing.simulated_seconds)
+        # Best-of-N wall time: single cold runs of these millisecond-scale
+        # workloads are dominated by scheduler noise, which would swamp the
+        # batched-vs-unbatched speedup.  Likelihoods and counters are
+        # deterministic, so repeat runs must agree bit-for-bit — N repeats
+        # double as a determinism check.  The SPR searches are seconds-long
+        # (noise-insensitive) and run once.
+        repeats = max(1, args.repeats) if config.get("workload") != "search" \
+            else 1
+        entry = None
+        checked = False
+        for r in range(repeats):
+            engine = build()
+            store = engine.store
+            # The registry cross-check instruments every store call; doing
+            # it on the first repeat only keeps the timed repeats bare (the
+            # bit-for-bit agreement assertion below extends its verdict to
+            # them).
+            use_registry = r == 0 and hasattr(store, "attach_metrics")
+            checked = checked or use_registry
+            rep = _run_entry(ctx, figure, engine, run, config,
+                             use_registry=use_registry)
+            if name == "fig5_paging":
+                rep["simulated_io_seconds"] = float(store.simulated_seconds)
+                rep["faults"] = int(store.faults)
+            elif figure == "fig5":
+                rep["simulated_io_seconds"] = float(
+                    store.backing.simulated_seconds)
+            if entry is None:
+                entry = rep
+            else:
+                if (rep["log_likelihood"] != entry["log_likelihood"]
+                        or rep["metrics"] != entry["metrics"]):
+                    raise ReproError(
+                        f"{name}: repeat runs disagree on likelihood or "
+                        "I/O counters — workload is nondeterministic")
+                if rep["wall_seconds"] < entry["wall_seconds"]:
+                    entry = rep
+        entry["repeats"] = repeats
+        entry["registry_checked"] = checked
         workloads[name] = entry
         print(f"{name:>18}: lnL {entry['log_likelihood']:.4f}  "
               f"{entry['wall_seconds']:.3f}s  "
               f"miss {entry['derived']['miss_rate']:.2%}  "
               f"read {entry['derived']['read_rate']:.2%}")
+
+    # The batched fig5 entries must be bit-identical to their unbatched
+    # partners — same lnL, same demand/eviction counters — or the batched
+    # execution path is broken.  A bench run therefore doubles as the
+    # batching correctness gate; the speedup lands in ``derived`` so a
+    # --baseline comparison tracks it like any other timing figure.
+    batch_pairs = (("fig5_ooc_whole", "fig5_ooc_whole_batch"),
+                   ("fig5_ooc_block", "fig5_ooc_block_batch"))
+    for plain_name, batch_name in batch_pairs:
+        plain, batched = workloads[plain_name], workloads[batch_name]
+        if batched["log_likelihood"] != plain["log_likelihood"]:
+            raise ReproError(
+                f"{batch_name} lnL {batched['log_likelihood']!r} differs "
+                f"from {plain_name} {plain['log_likelihood']!r}: batched "
+                "schedule is not bit-identical")
+        diff = [k for k in RESULT_METRICS
+                if batched["metrics"][k] != plain["metrics"][k]]
+        if diff:
+            raise ReproError(
+                f"{batch_name} counters differ from {plain_name} on "
+                f"{diff}: batched schedule broke access-sequence parity")
+        speedup = plain["wall_seconds"] / max(batched["wall_seconds"], 1e-9)
+        batched["derived"]["speedup_vs_unbatched"] = float(speedup)
+        print(f"{batch_name:>24}: {speedup:.2f}x vs {plain_name} "
+              "(lnL + counters bit-identical)")
 
     doc = {
         "schema": RESULTS_SCHEMA,
@@ -254,6 +349,16 @@ def run_bench(args) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"results written : {out} ({len(workloads)} workloads)")
+
+    if args.min_batch_speedup is not None:
+        got = workloads["fig5_ooc_block_batch"]["derived"][
+            "speedup_vs_unbatched"]
+        if got < args.min_batch_speedup:
+            print(f"REGRESSION: fig5_ooc_block_batch speedup {got:.2f}x < "
+                  f"required {args.min_batch_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print(f"batch speedup   : {got:.2f}x "
+              f">= {args.min_batch_speedup:.2f}x required")
 
     if args.baseline:
         try:
@@ -321,7 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--block-sites", type=int, default=64,
                         help="sites per block for the block-layout "
                              "workloads (default 64)")
+    parser.add_argument("--batch", type=int, default=-1,
+                        help="group cap for the *_batch workloads: -1 = "
+                             "auto (num_slots // 3), N > 0 = explicit cap "
+                             "(default -1)")
+    parser.add_argument("--kernel-threads", type=int, default=1,
+                        help="kernel/gather overlap threads for the "
+                             "*_batch workloads (default 1 = off)")
+    parser.add_argument("--min-batch-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless fig5_ooc_block_batch is at least "
+                             "X times faster than fig5_ooc_block (off by "
+                             "default; timing gates need a quiet machine)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N wall time for the traversal "
+                             "workloads; repeat runs must reproduce the "
+                             "same likelihood and counters bit-for-bit "
+                             "(searches always run once; default 3)")
     parser.add_argument("--baseline", metavar="PATH",
                         help="compare against this results file; exit 1 on "
                              "regression")

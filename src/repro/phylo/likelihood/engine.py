@@ -19,6 +19,7 @@ log-likelihood is bit-identical across all of these configurations
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -26,6 +27,11 @@ from repro.core.layout import StorageLayout, WholeVectorLayout, make_layout
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import LikelihoodError
 from repro.phylo.likelihood import kernels
+from repro.phylo.likelihood.schedule import (
+    BatchGroup,
+    ScheduleCache,
+    default_group_cap,
+)
 from repro.phylo.likelihood.traversal import (
     OrientationState,
     TraversalPlan,
@@ -88,6 +94,21 @@ class LikelihoodEngine:
         prefetch thread); reads overlap the likelihood kernels. Works with
         an explicit ``store`` too, provided it is an
         :class:`AncestralVectorStore`.
+    batch:
+        Batched kernel scheduling (:mod:`repro.phylo.likelihood.schedule`):
+        ``0``/``None`` (default) runs the classic per-block loop; ``-1``
+        ("auto") groups up to ``num_slots // 3`` independent (step, block)
+        updates per fused kernel call — the residency-safe cap; a positive
+        value sets the group cap explicitly. The store access sequence,
+        all demand/eviction counters and the CLV bits are identical to
+        the unbatched path (§4.1). Requires a store with the out-of-band
+        ``fill`` protocol (:class:`AncestralVectorStore`).
+    kernel_threads:
+        With ``batch`` enabled and ``kernel_threads > 1``, the fused
+        kernel of one group overlaps the operand gathering of the next
+        *independent* group on a worker thread (numpy releases the GIL
+        inside the contractions). Results and counters are unchanged;
+        store calls stay on the compute thread in schedule order.
     dtype:
         ``float64`` (default) or ``float32`` for the single-precision mode.
     """
@@ -113,6 +134,8 @@ class LikelihoodEngine:
         writeback_depth: int = 0,
         io_threads: int = 1,
         prefetch_depth: int = 0,
+        batch: int | str | None = None,
+        kernel_threads: int = 1,
         dtype=np.float64,
     ) -> None:
         if tree.num_tips < 3:
@@ -201,6 +224,30 @@ class LikelihoodEngine:
 
             self.prefetcher = ThreadedPrefetcher(store, depth=prefetch_depth)
 
+        if batch in (None, 0):
+            self.batch_members = 0
+        else:
+            if not hasattr(self.store, "fill"):
+                raise LikelihoodError(
+                    "batch needs a store with the out-of-band fill protocol "
+                    f"(got {type(self.store).__name__})"
+                )
+            if batch == -1 or batch == "auto":
+                self.batch_members = default_group_cap(self.store.num_slots)
+            elif isinstance(batch, int) and batch > 0:
+                self.batch_members = int(batch)
+            else:
+                raise LikelihoodError(
+                    f"batch must be None/0 (off), -1/'auto' or a positive "
+                    f"group cap, got {batch!r}"
+                )
+        self.kernel_threads = int(kernel_threads)
+        if self.kernel_threads < 1:
+            raise LikelihoodError(
+                f"kernel_threads must be >= 1, got {kernel_threads}")
+        self._schedule_cache = ScheduleCache() if self.batch_members else None
+        self._kernel_pool = None
+
         # Per-site underflow-scaling counters stay in RAM (like tips, they
         # are small compared to the CLVs themselves — paper §3.1).
         self.scale_counts = np.zeros((self.num_inner, self.num_patterns), dtype=np.int32)
@@ -208,8 +255,10 @@ class LikelihoodEngine:
         self._root_edge: tuple[int, int] | None = None
         # Transition matrices are tiny relative to CLVs; caching them per
         # exact branch length is free memory-wise and saves eigen work on
-        # repeated traversals. Exact float keys keep results bit-identical.
-        self._p_cache: dict[float, np.ndarray] = {}
+        # repeated traversals. Exact float keys keep results bit-identical,
+        # and LRU eviction past _P_CACHE_LIMIT keeps long searches with
+        # churning branch lengths from degrading to a cold cache.
+        self._p_cache: OrderedDict[float, np.ndarray] = OrderedDict()
         # Per-phase timers (observability, default off): when a
         # repro.utils.timing.Stopwatch is attached — normally through
         # repro.obs.Observer — the engine accumulates "plan" / "kernel" /
@@ -287,10 +336,16 @@ class LikelihoodEngine:
         P = self._p_cache.get(t)
         if P is None:
             P = self.model.transition_matrices(t, self.rates.rates)
-            P = np.ascontiguousarray(P.astype(self.dtype, copy=False))
+            # Always copy before freezing: astype(copy=False) /
+            # ascontiguousarray may return the model's own array, and
+            # setflags(write=False) would freeze the caller's buffer.
+            P = np.array(P, dtype=self.dtype, order="C")
             P.setflags(write=False)
-            if len(self._p_cache) < self._P_CACHE_LIMIT:
-                self._p_cache[t] = P
+            self._p_cache[t] = P
+            if len(self._p_cache) > self._P_CACHE_LIMIT:
+                self._p_cache.popitem(last=False)
+        else:
+            self._p_cache.move_to_end(t)
         return P
 
     # -- traversal execution ---------------------------------------------------------
@@ -365,7 +420,13 @@ class LikelihoodEngine:
         there is exactly one block spanning all patterns and the sequence
         of store calls, pins and kernel operands is bit-for-bit the
         pre-layout one.
+
+        With ``batch`` enabled, execution is delegated to the batched
+        scheduler path (:meth:`_execute_plan_batched`): same store-call
+        sequence, same counters, same bits — fewer, larger kernels.
         """
+        if self.batch_members:
+            return self._execute_plan_batched(plan)
         if self.prefetcher is not None and plan.steps:
             self.prefetcher.feed(self.plan_accesses(plan))
         sp_plan = self.spans
@@ -432,6 +493,202 @@ class LikelihoodEngine:
             sp_plan.complete("execute_plan", exec_t0,
                              time.perf_counter() - exec_t0,
                              {"steps": len(plan.steps)})
+
+    # -- batched traversal execution ---------------------------------------------------
+
+    def _execute_plan_batched(self, plan: TraversalPlan) -> None:
+        """Run a plan through the batched schedule (same sequence, fused kernels).
+
+        Store accesses are issued on this thread in exactly the order
+        :meth:`plan_accesses` reports — child views are copied into the
+        group's operand stacks at fetch time, output targets are fetched
+        write-only at their sequence position and completed out-of-band
+        via :meth:`~repro.core.vecstore.AncestralVectorStore.fill` after
+        the fused group kernel. Demand/eviction counters therefore match
+        the unbatched path bit for bit under every replacement policy,
+        and the kernels themselves are bit-identical by the
+        :mod:`~repro.phylo.likelihood.kernels` batched-kernel contract.
+
+        With ``kernel_threads > 1`` the group kernel runs on a worker
+        thread while this thread gathers the next group — but only when
+        the next group neither reads a node the in-flight group writes
+        nor sums its scale counts, so every operand copy still sees
+        finished data.
+        """
+        schedule = self._schedule_cache.get(
+            plan, self.layout, self.tree.num_tips, self.batch_members)
+        if self.prefetcher is not None and plan.steps:
+            self.prefetcher.feed(schedule.accesses())
+        sp_plan = self.spans
+        exec_t0 = time.perf_counter() if sp_plan is not None else 0.0
+        pool = self._ensure_kernel_pool()
+        pending: tuple | None = None  # (future, group) of an in-flight kernel
+        for gi, group in enumerate(schedule.groups):
+            if pending is not None and self._group_depends(group, pending[1]):
+                pending[0].result()
+                pending = None
+            stacks = self._gather_group(group)
+            if pool is None:
+                self._compute_group(gi, group, stacks)
+            else:
+                if pending is not None:
+                    pending[0].result()  # depth-1 pipeline
+                pending = (pool.submit(self._compute_group, gi, group, stacks),
+                           group)
+        if pending is not None:
+            pending[0].result()
+        if sp_plan is not None:
+            sp_plan.complete("execute_plan", exec_t0,
+                             time.perf_counter() - exec_t0,
+                             {"steps": len(plan.steps),
+                              "groups": len(schedule.groups)})
+
+    def _ensure_kernel_pool(self):
+        if self.kernel_threads <= 1:
+            return None
+        if self._kernel_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._kernel_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-kernel")
+        return self._kernel_pool
+
+    @staticmethod
+    def _group_depends(group: BatchGroup, running: BatchGroup) -> bool:
+        """Does ``group`` consume anything the ``running`` kernel produces?
+
+        True when any member of ``group`` has a child node (CLV operand
+        and scale-count summand alike) among ``running``'s output nodes.
+        Output items are unique within a plan, so write-write conflicts
+        cannot occur.
+        """
+        writes = {m.node for m in running.members}
+        return any(m.left in writes or m.right in writes
+                   for m in group.members)
+
+    def _gather_group(self, group: BatchGroup) -> list[dict]:
+        """Issue the group's store accesses in order; stack the operands.
+
+        Members are partitioned into *span classes* (full blocks vs the
+        ragged last block) so every fused contraction runs on exact
+        shapes — the per-``(member, category)`` GEMM is then the same
+        product as the per-member einsum, which is what keeps the batched
+        path bit-identical. Each child view is copied into its stack row
+        immediately after its ``get``, before any later access can evict
+        the slot.
+        """
+        C = self.rates.num_categories
+        S = self.model.num_states
+        classes: dict[int, dict] = {}
+        for m in group.members:
+            cls = classes.get(m.span)
+            if cls is None:
+                cls = classes[m.span] = {
+                    "span": m.span, "members": [],
+                    "n_inner": 0, "n_tip": 0,
+                }
+            cls["members"].append(m)
+            for child_item in (m.left_item, m.right_item):
+                if child_item >= 0:
+                    cls["n_inner"] += 1
+                else:
+                    cls["n_tip"] += 1
+        for cls in classes.values():
+            span = cls["span"]
+            cls["inner_clv"] = np.empty((cls["n_inner"], span, C, S),
+                                        dtype=self.dtype)
+            cls["P_inner"] = np.empty((cls["n_inner"], C, S, S),
+                                      dtype=self.dtype)
+            cls["inner_dest"] = []  # (side, member position in class)
+            cls["tip_codes"] = np.empty((cls["n_tip"], span), dtype=np.int64)
+            cls["P_tip"] = np.empty((cls["n_tip"], C, S, S), dtype=self.dtype)
+            cls["tip_dest"] = []
+            cls["np"] = cls["ji"] = cls["jt"] = 0
+
+        for m in group.members:
+            cls = classes[m.span]
+            pos = cls["np"]
+            cls["np"] = pos + 1
+            P_left = self._P(m.node, m.left)
+            P_right = self._P(m.node, m.right)
+            fi = 0
+            for side, child, child_item, P in (
+                    (0, m.left, m.left_item, P_left),
+                    (1, m.right, m.right_item, P_right)):
+                if child_item >= 0:
+                    item, pins, wo = m.fetches[fi]
+                    fi += 1
+                    view = self._timed_get(item, pins=pins, write_only=wo)
+                    j = cls["ji"]
+                    cls["ji"] = j + 1
+                    cls["inner_clv"][j] = view[:m.span]
+                    cls["P_inner"][j] = P
+                    cls["inner_dest"].append((side, pos))
+                else:
+                    j = cls["jt"]
+                    cls["jt"] = j + 1
+                    cls["tip_codes"][j] = self._tip_codes[child][m.lo:m.hi]
+                    cls["P_tip"][j] = P
+                    cls["tip_dest"].append((side, pos))
+            item, pins, wo = m.fetches[fi]
+            self._timed_get(item, pins=pins, write_only=wo)  # view deferred
+        return list(classes.values())
+
+    def _compute_group(self, gi: int, group: BatchGroup,
+                       stacks: list[dict]) -> None:
+        """Fused kernels for one gathered group, then out-of-band fills.
+
+        May run on the kernel worker thread; touches only this group's
+        stacks, its nodes' scale-count rows and the store's thread-safe
+        ``fill`` — never the demand ``get`` path.
+        """
+        tm, sp = self.timers, self.spans
+        k0 = time.perf_counter() if (tm is not None or sp is not None) else 0.0
+        # Scale-count prep once per node, before this group's rescales
+        # touch any of its rows (children finished in earlier groups).
+        for m in group.members:
+            if m.first_block:
+                counts = self.scale_counts[self.item(m.node)]
+                counts.fill(0)
+                if m.left >= self.tree.num_tips:
+                    counts += self.scale_counts[self.item(m.left)]
+                if m.right >= self.tree.num_tips:
+                    counts += self.scale_counts[self.item(m.right)]
+        C = self.rates.num_categories
+        S = self.model.num_states
+        for cls in stacks:
+            n = len(cls["members"])
+            span = cls["span"]
+            prop = np.empty((2, n, span, C, S), dtype=self.dtype)
+            if cls["n_inner"]:
+                contrib = kernels.propagate_inner_batch(
+                    cls["P_inner"], cls["inner_clv"])
+                for j, (side, pos) in enumerate(cls["inner_dest"]):
+                    prop[side, pos] = contrib[j]
+            if cls["n_tip"]:
+                tipc = kernels.propagate_tip_batch(
+                    cls["P_tip"], cls["tip_codes"], self._code_matrix)
+                for j, (side, pos) in enumerate(cls["tip_dest"]):
+                    prop[side, pos] = tipc[j]
+            res = np.empty((n, span, C, S), dtype=self.dtype)
+            scale_rows = [
+                self.scale_counts[self.item(m.node)][m.lo:m.hi]
+                for m in cls["members"]
+            ]
+            kernels.combine_and_rescale_batch(
+                prop[0], prop[1], res, scale_rows, self.scaling)
+            for pos, m in enumerate(cls["members"]):
+                self.store.fill(m.out_item, res[pos])
+        if tm is not None or sp is not None:
+            k_dt = time.perf_counter() - k0
+            if tm is not None:
+                tm.add("kernel", k_dt)
+            if sp is not None:
+                sp.complete("kernel", k0, k_dt,
+                            {"group": gi, "members": len(group.members)})
+        for m in group.members:
+            if m.last_block:
+                self.orientation.set(m.node, m.toward)
 
     # -- likelihood evaluation ----------------------------------------------------------
 
@@ -696,6 +953,9 @@ class LikelihoodEngine:
         if self.prefetcher is not None:
             self.prefetcher.stop()
             self.prefetcher = None
+        if self._kernel_pool is not None:
+            self._kernel_pool.shutdown(wait=True)
+            self._kernel_pool = None
         close = getattr(self.store, "close", None)
         if close is not None:
             close()

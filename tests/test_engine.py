@@ -239,3 +239,129 @@ class TestMemoryAccounting:
         eng = engine_factory()
         assert eng.total_ancestral_bytes() == \
             eng.alignment.total_ancestral_bytes(num_rates=4)
+
+
+class TestTransitionMatrixCache:
+    """The per-branch-length P cache: bounded LRU, no caller aliasing."""
+
+    def test_admission_continues_past_limit(self, engine_factory):
+        eng = engine_factory()
+        eng._P_CACHE_LIMIT = 4  # shrink the bound to make churn cheap
+        u, v = eng.default_edge()
+        lengths = [0.01 * (i + 1) for i in range(10)]
+        for t in lengths:
+            eng.tree.set_branch_length(u, v, t)
+            eng._P(u, v)
+            # The cache never exceeds its bound...
+            assert len(eng._p_cache) <= 4
+        # ...and keeps admitting: the most recent lengths are all cached
+        # (the historical bug stopped admitting once the limit was hit).
+        assert set(eng._p_cache) == set(lengths[-4:])
+        for t in lengths[-4:]:
+            eng.tree.set_branch_length(u, v, t)
+            cached = eng._p_cache[t]
+            assert eng._P(u, v) is cached  # a hit, not a rebuild
+
+    def test_eviction_is_lru_not_fifo(self, engine_factory):
+        eng = engine_factory()
+        eng._P_CACHE_LIMIT = 3
+        u, v = eng.default_edge()
+
+        def P_for(t):
+            eng.tree.set_branch_length(u, v, t)
+            return eng._P(u, v)
+
+        for t in (0.1, 0.2, 0.3):
+            P_for(t)
+        oldest = P_for(0.1)       # refresh 0.1: eviction order is now 0.2,
+        P_for(0.4)                # 0.3, 0.1 — adding 0.4 must drop 0.2
+        assert set(eng._p_cache) == {0.3, 0.1, 0.4}
+        assert P_for(0.1) is oldest
+
+    def test_freezing_never_aliases_model_buffer(self, small_tree,
+                                                 small_alignment,
+                                                 monkeypatch):
+        model = GTR((1.0, 2.5, 1.2, 0.8, 3.0, 1.0), (0.3, 0.2, 0.25, 0.25))
+        rates = RateModel.gamma(0.8, 4)
+        eng = LikelihoodEngine(small_tree.copy(), small_alignment, model,
+                               rates)
+        u, v = eng.default_edge()
+        t = eng.tree.branch_length(u, v)
+        # A model that hands out its own long-lived, already C-contiguous
+        # float64 buffer — the case where astype(copy=False)-style
+        # conversions return the input and freezing would corrupt it.
+        shared = np.ascontiguousarray(
+            model.transition_matrices(t, rates.rates), dtype=np.float64)
+        assert shared.flags.writeable
+        monkeypatch.setattr(model, "transition_matrices",
+                            lambda _t, _r: shared)
+        P = eng._P(u, v)
+        assert not P.flags.writeable       # the cache entry is frozen
+        assert P is not shared             # but it is the engine's copy
+        assert shared.flags.writeable      # the model's buffer is untouched
+        assert np.array_equal(P, shared)
+
+
+class TestFloat32BlockLayouts:
+    """Single-precision end-to-end under site-block paging (§4 fig. setup)."""
+
+    def _build(self, tree, aln, model, rates, dtype, **kw):
+        return LikelihoodEngine(tree.copy(), aln, model, rates, dtype=dtype,
+                                layout="block", block_sites=64, num_slots=8,
+                                policy="lru", poison_skipped_reads=True, **kw)
+
+    def test_parity_counters_match_float64(self, small_tree, small_alignment,
+                                           small_model):
+        from repro.profile import PARITY_COUNTERS
+
+        rates = RateModel.gamma(0.8, 4)
+        e64 = self._build(small_tree, small_alignment, small_model, rates,
+                          np.float64)
+        e32 = self._build(small_tree, small_alignment, small_model, rates,
+                          np.float32)
+        l64, l32 = e64.full_traversals(2), e32.full_traversals(2)
+        assert l32 == pytest.approx(l64, rel=1e-4)
+        r64, r32 = e64.stats.as_row(), e32.stats.as_row()
+        for key in PARITY_COUNTERS:
+            if key.startswith("bytes_"):
+                # Same transfers, half-width items.
+                assert r64[key] == 2 * r32[key], key
+            else:
+                assert r64[key] == r32[key], key
+
+    def test_narrow_exponent_rescale_fires(self):
+        # A pectinate tree deep enough to underflow float32's 2^-30
+        # threshold long before float64's 2^-256 — single precision must
+        # engage its own rescaling to keep the likelihood finite and close.
+        n = 60
+        tree = Tree(n)
+        inner = iter(tree.inner_nodes())
+        prev = next(inner)
+        tree._connect(0, prev, 0.6)
+        tree._connect(1, prev, 0.6)
+        for tip in range(2, n - 1):
+            cur = next(inner)
+            tree._connect(prev, cur, 0.6)
+            tree._connect(tip, cur, 0.6)
+            prev = cur
+        tree._connect(n - 1, prev, 0.6)
+        tree.validate()
+        aln = simulate_alignment(tree, JC69(), 80, seed=44)
+        rates = RateModel.gamma(1.0, 2)
+        e64 = self._build(tree, aln, JC69(), rates, np.float64)
+        e32 = self._build(tree, aln, JC69(), rates, np.float32)
+        l64, l32 = e64.full_traversals(1), e32.full_traversals(1)
+        assert np.isfinite(l32)
+        assert l32 == pytest.approx(l64, rel=1e-3)
+        assert e32.scale_counts.sum() > 0          # 2^-30 rescale engaged
+        assert e32.scale_counts.sum() > e64.scale_counts.sum()
+
+    def test_float32_batched_matches_unbatched_bitwise(self, small_tree,
+                                                       small_alignment,
+                                                       small_model):
+        rates = RateModel.gamma(0.8, 4)
+        plain = self._build(small_tree, small_alignment, small_model, rates,
+                            np.float32)
+        batched = self._build(small_tree, small_alignment, small_model,
+                              rates, np.float32, batch=-1)
+        assert batched.full_traversals(2) == plain.full_traversals(2)
