@@ -47,9 +47,34 @@ Rules
 ``SUP001``
     A ``# analysis: ignore[RULE]`` suppression without a reason, or
     naming an unknown rule.
+``EVT001`` / ``EVT002``
+    Tracer ``emit()`` uses an event type missing from ``EVENT_TYPES``, or
+    the event taxonomy and the counter registry drifted apart.
+``MET001`` / ``MET002``
+    A metrics call site names a metric missing from ``METRIC_NAMES``, or
+    the metric name / exposition / result tables drifted apart.
+``LOK101``
+    Two locks are acquired in both orders somewhere in the package (a
+    cycle in the static lock-acquisition graph — potential deadlock).
+    Edges come from lexically nested ``with`` blocks *and* from calls
+    made while a lock is held, resolved interprocedurally.
+``LOK102``
+    A lock acquired inside a ``# thread: kernel`` compute callback.
+    Kernel callbacks run on the batched schedule's worker pool and must
+    stay lock-free: store traffic belongs in the planner-side entry
+    points that already serialize against the store lock.
+``RACE001`` / ``RACE002``
+    **Runtime** rules from the happens-before race sanitizer
+    (:mod:`repro.analysis.race`): two writes — or a read and a write —
+    to the same guarded field are unordered by the happens-before
+    relation (locks, thread start/join, executor fork/join tokens,
+    condition waits). Opt in with ``REPRO_SANITIZE=race``; pair with
+    :class:`repro.analysis.interleave.InterleaveFuzzer` to sweep seeded
+    thread schedules deterministically.
 
 Use ``python -m repro.analysis [paths...]`` from the repo root, or the
-pytest bridge in ``tests/test_analysis_clean.py``.
+pytest bridge in ``tests/test_analysis_clean.py``. The runtime sanitizer
+is exercised by ``tests/test_race.py``.
 """
 
 from __future__ import annotations

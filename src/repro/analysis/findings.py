@@ -20,7 +20,16 @@ RULES: dict[str, str] = {
     "DET002": "unseeded numpy RNG in deterministic scope",
     "DET003": "time.time() in deterministic scope",
     "SUP001": "'# analysis: ignore[...]' suppression malformed",
+    "LOK101": "lock-acquisition cycle (potential deadlock)",
+    "LOK102": "lock acquired inside a BatchedSchedule kernel compute callback",
+    "RACE001": "write-write data race (accesses unordered by happens-before)",
+    "RACE002": "read-write data race (accesses unordered by happens-before)",
 }
+
+#: Rules emitted by the runtime happens-before sanitizer
+#: (:mod:`repro.analysis.race`) rather than a static checker — they have
+#: no ``# expect`` fixture corpus and are exercised by ``test_race.py``.
+RUNTIME_RULES = frozenset({"RACE001", "RACE002"})
 
 
 @dataclass(frozen=True, order=True)

@@ -1,0 +1,155 @@
+"""Deterministic schedule-interleaving fuzzer for the threaded suites.
+
+A race the happens-before detector *could* catch still needs the racy
+code paths to actually run concurrently; with CPython's default 5 ms
+switch interval a short test often runs each thread to completion in
+turn and never overlaps them. :class:`InterleaveFuzzer` perturbs the
+schedule two ways:
+
+* ``sys.setswitchinterval`` is dropped to microseconds so the bytecode
+  scheduler preempts aggressively, and
+* every sanitizer hook point (tracked-lock acquire, instrumented
+  read/write) becomes a *checkpoint* that, with probability
+  ``yield_prob``, sleeps for a tiny pseudo-random duration — releasing
+  the GIL at exactly the boundaries where interleavings differ.
+
+Determinism
+-----------
+Each thread draws from its own ``random.Random`` seeded with
+``crc32(f"{seed}:{thread name}")`` — *not* ``hash()``, which is salted
+per process. A thread that executes the same checkpoint sequence
+therefore makes the identical yield decisions on every run with the
+same seed, and :meth:`decision_trace` exposes those decisions so tests
+can assert bit-reproducibility. The detector's verdicts are timing
+independent (unordered accesses are flagged in any execution order), so
+"same seed → same findings" holds even though the OS-level schedule is
+not literally replayed.
+
+The fuzzer only has observable effect when the race sanitizer is active
+(its checkpoints live at sanitizer hook points); the switch-interval
+perturbation applies regardless. Activate in tests via
+``REPRO_FUZZ_SEED=<n>`` (see ``tests/conftest.py``) or programmatically
+with :meth:`install`/:meth:`uninstall`.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+import time
+import zlib
+
+from repro.analysis import race
+from repro.errors import OutOfCoreError
+
+__all__ = ["InterleaveFuzzer"]
+
+#: Decisions kept verbatim per thread for reproducibility assertions;
+#: beyond this only the running totals are tracked (stress tests hit
+#: hundreds of thousands of checkpoints).
+_TRACE_CAP = 4096
+
+
+class _ThreadTrace:
+    __slots__ = ("rng", "decisions", "total", "yields")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.decisions: list[int] = []
+        self.total = 0
+        self.yields = 0
+
+
+class InterleaveFuzzer:
+    """Seeded schedule perturbation at sanitizer checkpoints."""
+
+    def __init__(self, seed: int, *, yield_prob: float = 0.25,
+                 max_sleep: float = 2e-5,
+                 switch_interval: float = 1e-5) -> None:
+        if not 0.0 <= yield_prob <= 1.0:
+            raise OutOfCoreError(
+                f"yield_prob must be in [0, 1], got {yield_prob}")
+        if max_sleep < 0.0 or switch_interval <= 0.0:
+            raise OutOfCoreError(
+                "max_sleep must be >= 0 and switch_interval > 0, got "
+                f"{max_sleep}/{switch_interval}")
+        self.seed = int(seed)
+        self.yield_prob = float(yield_prob)
+        self.max_sleep = float(max_sleep)
+        self.switch_interval = float(switch_interval)
+        self._tls = threading.local()
+        self._mutex = threading.Lock()
+        self._traces: dict[str, _ThreadTrace] = {}
+        self._saved_interval: float | None = None
+        self._installed = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def install(self) -> "InterleaveFuzzer":
+        """Become the process-wide checkpoint hook and shrink the
+        bytecode switch interval. Idempotent per instance."""
+        if not self._installed:
+            self._saved_interval = sys.getswitchinterval()
+            sys.setswitchinterval(self.switch_interval)
+            race._set_checkpoint(self.checkpoint)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            race._set_checkpoint(None)
+            if self._saved_interval is not None:
+                sys.setswitchinterval(self._saved_interval)
+            self._installed = False
+
+    def __enter__(self) -> "InterleaveFuzzer":
+        return self.install()
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    # -- the hook ---------------------------------------------------------------
+
+    def _bind(self) -> _ThreadTrace:
+        name = threading.current_thread().name
+        key = f"{self.seed}:{name}".encode()
+        trace = _ThreadTrace(random.Random(zlib.crc32(key)))
+        self._tls.trace = trace
+        with self._mutex:
+            # Last binding wins if a test reuses a thread name; names
+            # chosen by the core ("writeback-0", "prefetcher", ...) are
+            # stable per component instance.
+            self._traces[name] = trace
+        return trace
+
+    def checkpoint(self) -> None:
+        """Maybe yield. Called from sanitizer hook points; decisions are
+        a pure function of (seed, thread name, checkpoint index)."""
+        trace: _ThreadTrace | None = getattr(self._tls, "trace", None)
+        if trace is None:
+            trace = self._bind()
+        trace.total += 1
+        if trace.rng.random() < self.yield_prob:
+            trace.yields += 1
+            if len(trace.decisions) < _TRACE_CAP:
+                trace.decisions.append(1)
+            time.sleep(trace.rng.random() * self.max_sleep)
+        else:
+            if len(trace.decisions) < _TRACE_CAP:
+                trace.decisions.append(0)
+
+    # -- inspection -------------------------------------------------------------
+
+    def decision_trace(self) -> dict[str, tuple[int, int, tuple[int, ...]]]:
+        """Per thread name: ``(checkpoints, yields, first decisions)``.
+
+        Two runs with the same seed and the same per-thread checkpoint
+        counts produce identical traces — the reproducibility contract
+        the fuzzer tests assert.
+        """
+        with self._mutex:
+            return {
+                name: (t.total, t.yields, tuple(t.decisions))
+                for name, t in self._traces.items()
+            }

@@ -7,8 +7,18 @@ lines in ``__init__``. An access to a guarded field is legal when it is
   block,
 * inside a function annotated ``# holds: <lock>`` on its ``def`` line
   (the documented caller-holds-the-lock helper contract),
-* inside any ``__init__`` (the object is not yet shared), or
+* inline inside any ``__init__`` (the object is not yet shared), or
 * suppressed with ``# lockfree-ok: <reason>`` (applied by the runner).
+
+Deferred execution does not inherit the lock: a nested ``def``, a
+``lambda`` body or a generator expression may run long after the
+enclosing ``with`` released, so their guarded accesses are checked with
+an empty held-set (and closures created inside ``__init__`` are checked
+even though ``__init__`` itself is exempt). The one exception is a
+generator expression consumed directly as a call argument
+(``sum(1 for ...)``) — it is exhausted before the call returns, with the
+locks still held. List/set/dict comprehensions evaluate inline and keep
+the held-set.
 
 Receivers are resolved with :mod:`repro.analysis.typeinfo`; an access whose
 receiver class cannot be resolved is skipped — the checker prefers missing
@@ -83,15 +93,56 @@ class _FunctionChecker:
         for stmt in self.func.node.body:
             self._visit(stmt, held)
 
+    def run_deferred_only(self) -> None:
+        """Check only closures (nested defs / lambdas) of this function.
+
+        Used for ``__init__``: construction precedes sharing, so inline
+        accesses are exempt — but a closure created *during* construction
+        may run arbitrarily later, on any thread, and must hold the lock
+        like everybody else.
+        """
+        for stmt in self.func.node.body:
+            self._visit(stmt, frozenset(), checking=False)
+
     # -- recursive walk with held-lock propagation ------------------------------
 
-    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+    def _visit(self, node: ast.AST, held: frozenset[str],
+               checking: bool = True) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             # A nested def may run long after the enclosing lock is released.
             inner = self.sf.holds(node.lineno)
             nested_held = _lock_group(inner) if inner is not None else frozenset()
             for child in ast.iter_child_nodes(node):
-                self._visit(child, nested_held)
+                self._visit(child, nested_held, checking=True)
+            return
+        if isinstance(node, ast.Lambda):
+            # Deferred exactly like a nested def — but default values are
+            # evaluated at creation time, under the enclosing locks.
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for d in defaults:
+                self._visit(d, held, checking)
+            self._visit(node.body, frozenset(), checking=True)
+            return
+        if isinstance(node, ast.GeneratorExp):
+            # Lazy: runs whenever it is iterated, possibly after release.
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, frozenset(), checking=True)
+            return
+        if isinstance(node, ast.Call):
+            # ...except a genexp consumed directly as a call argument
+            # (``sum(1 for ...)``): it is exhausted before the call
+            # returns, so the enclosing locks are still held.
+            self._visit(node.func, held, checking)
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp):
+                    for child in ast.iter_child_nodes(arg):
+                        self._visit(child, held, checking)
+                else:
+                    self._visit(arg, held, checking)
+            for kw in node.keywords:
+                self._visit(kw.value, held, checking)
             return
         if isinstance(node, (ast.With, ast.AsyncWith)):
             acquired = held
@@ -99,14 +150,15 @@ class _FunctionChecker:
                 ctx = item.context_expr
                 if isinstance(ctx, ast.Attribute) and ctx.attr in self.all_lock_names:
                     acquired = acquired | _lock_group(ctx.attr)
-                self._visit(ctx, held)
+                self._visit(ctx, held, checking)
             for child in node.body:
-                self._visit(child, acquired)
+                self._visit(child, acquired, checking)
             return
-        if isinstance(node, ast.Attribute) and node.attr in self.guarded_names:
+        if (checking and isinstance(node, ast.Attribute)
+                and node.attr in self.guarded_names):
             self._check_access(node, held)
         for child in ast.iter_child_nodes(node):
-            self._visit(child, held)
+            self._visit(child, held, checking)
 
     def _check_access(self, node: ast.Attribute, held: frozenset[str]) -> None:
         owner = self.types.resolve(node.value)
@@ -139,9 +191,14 @@ def check_locks(files: list[SourceFile], index: ClassIndex) -> list[Finding]:
                 _FunctionChecker(sf, func, index, decls, findings).run()
     for info in index.classes.values():
         for func in info.methods.values():
-            if func.name == "__init__":
-                continue  # construction precedes sharing
             sf = by_path.get(func.module_path)
-            if sf is not None:
-                _FunctionChecker(sf, func, index, decls, findings).run()
+            if sf is None:
+                continue
+            checker = _FunctionChecker(sf, func, index, decls, findings)
+            if func.name == "__init__":
+                # Construction precedes sharing — inline accesses are
+                # exempt, but closures minted here outlive __init__.
+                checker.run_deferred_only()
+            else:
+                checker.run()
     return findings

@@ -10,6 +10,7 @@ from repro.analysis.determinism import check_determinism
 from repro.analysis.events import check_events
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.leaks import check_leaks
+from repro.analysis.lockorder import check_lockorder
 from repro.analysis.locks import check_locks
 from repro.analysis.metrics import check_metrics
 from repro.analysis.source import SourceFile
@@ -36,6 +37,7 @@ def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
 
     findings: list[Finding] = []
     findings.extend(check_locks(files, index))
+    findings.extend(check_lockorder(files, index))
     findings.extend(check_counters(files, index))
     findings.extend(check_events(files))
     findings.extend(check_metrics(files))

@@ -24,10 +24,10 @@ so the demand miss/read rates (the Fig. 2–4 metrics) stay untouched:
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import TYPE_CHECKING
 
+from repro.analysis.race import make_thread, race_detector
 from repro.core.backing import SimulatedDiskBackingStore
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
@@ -139,14 +139,24 @@ class ThreadedPrefetcher:
         # interval per prefetch_load attempt. Set by repro.obs.Observer;
         # recording is lock-free (ring append), read without the lock.
         self.spans: SpanRecorder | None = None
-        self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="prefetcher")
+        # Under REPRO_SANITIZE=race the thread carries start/join clock
+        # edges (zero cost otherwise — see repro.analysis.race).
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("ThreadedPrefetcher"))
+        self._thread = make_thread(self._run, daemon=True, name="prefetcher")
         self._thread.start()
 
     def feed(self, schedule: list[tuple[int, tuple, bool]]) -> None:
         """Install the upcoming access sequence; prefetching starts at once."""
         store = self.store
+        rc = self._race
         with store._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_stop")
+                rc.write(self._race_scope, "_schedule", "_base", "_deferred",
+                         "_last_progress")
+                rc.read(store._race_scope, "stats.store")
             if self._stop:
                 raise OutOfCoreError("prefetcher is stopped")
             self._schedule = list(schedule)
@@ -164,7 +174,10 @@ class ThreadedPrefetcher:
     def stop(self) -> None:
         """Terminate the prefetch thread (idempotent)."""
         store = self.store
+        rc = self._race
         with store._cond:
+            if rc is not None:
+                rc.write(self._race_scope, "_stop")
             self._stop = True
             store._cond.notify_all()
         self._thread.join()
@@ -175,6 +188,12 @@ class ThreadedPrefetcher:
 
     def _pick_locked(self) -> tuple[int, set[int]] | None:  # holds: _cond
         """Next (item, protect) to load, or None. Caller holds the store lock."""
+        rc = self._race
+        if rc is not None:
+            rc.read(self._race_scope, "_schedule", "_base", "_deferred")
+            rc.write(self._race_scope, "_last_progress")
+            rc.read(self.store._race_scope, "stats.store", "_item_slot",
+                    "_inflight")
         progress = self.store.stats.requests - self._base
         if progress != self._last_progress:
             self._last_progress = progress
@@ -199,9 +218,12 @@ class ThreadedPrefetcher:
 
     def _run(self) -> None:  # thread: prefetch
         store = self.store
+        rc = self._race
         while True:
             with store._cond:
                 while True:
+                    if rc is not None:
+                        rc.read(self._race_scope, "_stop")
                     if self._stop:
                         return
                     target = self._pick_locked()
@@ -226,4 +248,6 @@ class ThreadedPrefetcher:
                 with store._cond:
                     # No slot (or a racing demand load): retry only after
                     # demand progresses, so we never busy-spin.
+                    if rc is not None:
+                        rc.write(self._race_scope, "_deferred")
                     self._deferred.add(item)

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 from numpy.typing import DTypeLike
 
+from repro.analysis.race import race_detector
 from repro.core.backing import BackingStore
 from repro.core.layout import StorageLayout
 from repro.core.policies import ReplacementPolicy
@@ -44,17 +45,31 @@ class HostTierBacking:
     def __init__(self, host: AncestralVectorStore) -> None:
         self.host = host
         self.num_items = host.num_items
+        # Transfer counters are deliberately unlocked: the device tier is
+        # single-threaded by contract (no write-behind / prefetcher of its
+        # own), so only the compute thread reaches this adapter. The race
+        # hooks make the sanitizer *prove* that — any concurrent caller
+        # shows up as RACE001 on these fields.
         self.transfers_up = 0
         self.transfers_down = 0
         self.bytes_moved = 0
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("HostTierBacking"))
 
     def read(self, item: int, out: np.ndarray) -> None:
         np.copyto(out, self.host.get(item, write_only=False))
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "transfers_up", "bytes_moved")
         self.transfers_up += 1
         self.bytes_moved += out.nbytes
 
     def write(self, item: int, data: np.ndarray) -> None:
         np.copyto(self.host.get(item, write_only=True), data)
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "transfers_down", "bytes_moved")
         self.transfers_down += 1
         self.bytes_moved += data.nbytes
 

@@ -58,6 +58,7 @@ import weakref
 import numpy as np
 from numpy.typing import DTypeLike
 
+from repro.analysis.race import make_condition, make_lock, race_detector
 from repro.core.backing import BackingStore, MemoryBackingStore
 from repro.core.layout import StorageLayout, WholeVectorLayout
 from repro.core.policies import ReplacementPolicy, make_policy
@@ -300,8 +301,15 @@ class AncestralVectorStore:
         self._ever_stored = np.zeros(self.num_items, dtype=bool)  # guarded-by: _lock
 
         # Async-pipeline state (see the module docstring's thread model).
-        self._lock = threading.RLock()
-        self._cond = threading.Condition(self._lock)
+        # Under REPRO_SANITIZE=race the factories return vector-clock
+        # tracked primitives and the hooks below record every guarded
+        # access; otherwise they are plain threading objects and each
+        # hook site is one ``is None`` test (pay-for-play, like tracer).
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("AncestralVectorStore"))
+        self._lock = make_lock("AncestralVectorStore")
+        self._cond = make_condition(self._lock)
         self._inflight: dict[int, threading.Event] = {}  # guarded-by: _lock
         self._prefetched_untouched: set[int] = set()  # guarded-by: _lock
         self._active_pins: set[int] = set()  # guarded-by: _lock
@@ -393,12 +401,22 @@ class AncestralVectorStore:
         registry = self._metrics
         if registry is None:
             return
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "stats.store", "_free", "_dirty",
+                        "_inflight", "_prefetched_untouched")
             counters = dict(self.stats._counters())
             occupied = self.num_slots - len(self._free)
             dirty = int(np.count_nonzero(self._dirty))
             inflight = len(self._inflight)
             untouched = len(self._prefetched_untouched)
+        wb = self._writeback
+        if wb is not None:
+            # The writer-owned counters just read under the store lock are
+            # stale/racy snapshots — discard them and re-read under the
+            # queue lock (store-lock -> queue-lock order, one clean cut).
+            counters.update(wb.counters_snapshot())
         for name, value in counters.items():
             registry.counter_set(name, value)
         registry.gauge_set("slots_total", self.num_slots)
@@ -406,17 +424,22 @@ class AncestralVectorStore:
         registry.gauge_set("slots_dirty", dirty)
         registry.gauge_set("loads_inflight", inflight)
         registry.gauge_set("prefetch_untouched", untouched)
-        wb = self._writeback
         registry.gauge_set("writeback_queue_depth",
                            wb.pending() if wb is not None else 0)
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_item_slot")
             return bool(self._item_slot[item] >= 0)
 
     def resident_items(self) -> list[int]:
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_slot_item")
             return [int(i) for i in self._slot_item if i >= 0]
 
     def ram_bytes(self) -> int:
@@ -448,7 +471,10 @@ class AncestralVectorStore:
         for p in pins:
             self._check_item(p)
         tr = self._tracer
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.write(self._race_scope, "stats.store", "_active_pins")
             self.stats.requests += 1
             if tr is not None:
                 tr.emit("get", item=item)
@@ -458,6 +484,8 @@ class AncestralVectorStore:
         while True:
             wait_ev = None
             with self._cond:
+                if rc is not None:
+                    rc.read(self._race_scope, "_item_slot", "_inflight")
                 slot = int(self._item_slot[item])
                 ev = self._inflight.get(item)
                 if ev is None and slot >= 0:
@@ -481,6 +509,8 @@ class AncestralVectorStore:
                     # Publish the mapping, mark in-flight and read outside
                     # the lock so a prefetch thread can keep working.
                     self._publish(item, slot)
+                    if rc is not None:
+                        rc.write(self._race_scope, "_inflight")
                     self._inflight[item] = threading.Event()
             if wait_ev is not None:
                 # A prefetch load of this exact item is in flight: wait for
@@ -495,6 +525,9 @@ class AncestralVectorStore:
                 # failed swap-in cannot leak capacity (the evicted victim
                 # was staged/written out before the read was attempted).
                 with self._cond:
+                    if rc is not None:
+                        rc.write(self._race_scope, "_item_slot", "_slot_item",
+                                 "_free", "_inflight")
                     self._item_slot[item] = -1
                     self._slot_item[slot] = -1
                     self._free.append(slot)
@@ -504,6 +537,8 @@ class AncestralVectorStore:
                     self._cond.notify_all()
                 raise
             with self._cond:
+                if rc is not None:
+                    rc.write(self._race_scope, "stats.store", "_inflight")
                 self.stats.reads += 1
                 self.stats.bytes_read += self.item_bytes
                 if tr is not None:
@@ -527,6 +562,10 @@ class AncestralVectorStore:
         so the Fig. 2–4 demand metrics are independent of prefetching.
         """
         tr = self._tracer
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "stats.store", "_prefetched_untouched",
+                     "_dirty", "_ever_stored")
         if item in self._prefetched_untouched:
             self._prefetched_untouched.discard(item)
             self.stats.misses += 1
@@ -561,6 +600,9 @@ class AncestralVectorStore:
         return self._issue_view(item, slot)
 
     def _finish_load(self, item: int, slot: int, write_only: bool) -> np.ndarray:  # holds: _cond
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "_dirty", "_ever_stored")
         self._dirty[slot] = False
         if write_only:
             self._dirty[slot] = True
@@ -570,6 +612,10 @@ class AncestralVectorStore:
 
     def _issue_view(self, item: int, slot: int) -> np.ndarray:  # holds: _cond
         """The ndarray handed back by ``get`` — sanitizer-wrapped in debug mode."""
+        rc = self._race
+        if rc is not None:
+            rc.read(self._race_scope, "_slot_generation")
+            rc.write(self._race_scope, "_borrows")
         if not self._sanitize:
             return self._slots[slot]
         view = self._slots[slot].view(BorrowedSlotView)
@@ -583,11 +629,17 @@ class AncestralVectorStore:
 
     def active_borrows(self) -> int:
         """Live sanitizer-tracked views (0 when the sanitizer is off)."""
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.write(self._race_scope, "_borrows")
             self._borrows = [r for r in self._borrows if r() is not None]
             return len(self._borrows)
 
     def _publish(self, item: int, slot: int) -> None:  # holds: _cond
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "_slot_item", "_item_slot", "_dirty")
         self._slot_item[slot] = item
         self._item_slot[item] = slot
         self._dirty[slot] = False
@@ -607,7 +659,11 @@ class AncestralVectorStore:
     def mark_dirty(self, item: int) -> None:
         """Declare that a vector obtained read-mostly was actually modified."""
         self._check_item(item)
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_item_slot")
+                rc.write(self._race_scope, "_dirty", "_ever_stored")
             slot = self._item_slot[item]
             if slot < 0:
                 raise OutOfCoreError(f"item {item} is not resident")
@@ -643,13 +699,18 @@ class AncestralVectorStore:
         self._check_item(item)
         span = int(data.shape[0])
         staged = False
+        rc = self._race
         while True:
             wait_ev = None
             with self._cond:
+                if rc is not None:
+                    rc.read(self._race_scope, "_inflight", "_item_slot")
                 wait_ev = self._inflight.get(item)
                 if wait_ev is None:
                     slot = int(self._item_slot[item])
                     if slot >= 0:
+                        if rc is not None:
+                            rc.write(self._race_scope, "_dirty", "_ever_stored")
                         self._slots[slot][:span] = data
                         self._dirty[slot] = True
                         self._ever_stored[item] = True
@@ -671,11 +732,17 @@ class AncestralVectorStore:
             else:
                 self.backing.write(item, buf)
             with self._cond:
+                if rc is not None:
+                    rc.write(self._race_scope, "_ever_stored", "fill_spills")
                 self._ever_stored[item] = True
                 self.fill_spills += 1
             staged = True
 
     def _allocate_slot(self, item: int, pins: tuple) -> int:  # holds: _cond
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "_free")
+            rc.read(self._race_scope, "_slot_item", "_inflight")
         if self._free:
             return self._free.pop()
         excluded = {int(p) for p in pins} | set(self._inflight)
@@ -697,6 +764,11 @@ class AncestralVectorStore:
         return vslot
 
     def _evict(self, item: int, slot: int) -> None:  # holds: _cond
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "_slot_generation", "stats.store",
+                     "_prefetched_untouched", "_item_slot", "_slot_item",
+                     "_dirty")
         self._slot_generation[slot] += 1  # invalidates outstanding borrows
         if self._tracer is not None:
             self._tracer.emit("evict", item=item, slot=slot)
@@ -739,7 +811,10 @@ class AncestralVectorStore:
         """
         item = int(item)
         self._check_item(item)
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_item_slot", "_inflight")
             if self._item_slot[item] >= 0 or item in self._inflight:
                 return False
             slot = self._try_allocate(item, protect)
@@ -747,6 +822,8 @@ class AncestralVectorStore:
                 return False
             self._publish(item, slot)
             ev = threading.Event()
+            if rc is not None:
+                rc.write(self._race_scope, "_inflight")
             self._inflight[item] = ev
         tr = self._tracer
         try:
@@ -754,6 +831,9 @@ class AncestralVectorStore:
             from_staging = self._read_into_slot(item, slot)
         except Exception:
             with self._cond:
+                if rc is not None:
+                    rc.write(self._race_scope, "_item_slot", "_slot_item",
+                             "_free", "_inflight")
                 self._item_slot[item] = -1
                 self._slot_item[slot] = -1
                 self._free.append(slot)
@@ -762,6 +842,9 @@ class AncestralVectorStore:
                 self._cond.notify_all()
             return False
         with self._cond:
+            if rc is not None:
+                rc.write(self._race_scope, "stats.store",
+                         "_prefetched_untouched", "_inflight")
             self.stats.prefetch_reads += 1
             self.stats.prefetch_bytes += self.item_bytes
             if tr is not None:
@@ -782,6 +865,11 @@ class AncestralVectorStore:
     def _try_allocate(self, item: int,  # holds: _cond
                       protect: Iterable[int]) -> int | None:
         """Non-raising slot allocation for prefetch (``None`` = no slot)."""
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "_free")
+            rc.read(self._race_scope, "_slot_item", "_inflight",
+                    "_active_pins", "_prefetched_untouched")
         if self._free:
             return self._free.pop()
         excluded = ({int(p) for p in protect} | self._active_pins
@@ -808,8 +896,12 @@ class AncestralVectorStore:
         barrier: returns only after the write-behind queue (if any) has
         drained, so the backing store is durable and self-consistent.
         """
+        rc = self._race
         with self._cond:
             self._settle()
+            if rc is not None:
+                rc.read(self._race_scope, "_slot_item")
+                rc.write(self._race_scope, "stats.store", "_dirty")
             for slot in range(self.num_slots):
                 item = int(self._slot_item[slot])
                 if item < 0:
@@ -830,13 +922,20 @@ class AncestralVectorStore:
 
     def _settle(self) -> None:  # holds: _cond
         """Wait (under the lock) until no load is in flight."""
+        rc = self._race
+        if rc is not None:
+            rc.read(self._race_scope, "_inflight")
         while self._inflight:
             self._cond.wait()
 
     def evict_all(self) -> None:
         """Empty every slot (vectors written back); used between experiment phases."""
+        rc = self._race
         with self._cond:
             self._settle()
+            if rc is not None:
+                rc.read(self._race_scope, "_slot_item")
+                rc.write(self._race_scope, "_free")
             for slot in range(self.num_slots):
                 item = int(self._slot_item[slot])
                 if item >= 0:
@@ -852,8 +951,11 @@ class AncestralVectorStore:
         the backing store — so it always observes the newest version.
         """
         self._check_item(item)
+        rc = self._race
         with self._cond:
             self._settle()
+            if rc is not None:
+                rc.read(self._race_scope, "_item_slot")
             slot = self._item_slot[item]
             if slot >= 0:
                 return self._slots[slot].copy()
@@ -865,7 +967,10 @@ class AncestralVectorStore:
 
     def validate(self) -> None:
         """Internal-consistency check of the two-way slot/item maps."""
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_slot_item", "_item_slot", "_free")
             for slot in range(self.num_slots):
                 item = int(self._slot_item[slot])
                 if item >= 0 and int(self._item_slot[item]) != slot:

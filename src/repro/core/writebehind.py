@@ -36,7 +36,6 @@ may block in ``put`` while holding it without deadlock.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import TYPE_CHECKING
@@ -44,6 +43,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 from numpy.typing import DTypeLike
 
+from repro.analysis.race import make_condition, make_lock, make_thread, race_detector
 from repro.core.backing import BackingStore
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError
@@ -103,7 +103,13 @@ class WriteBehindQueue:
         self.metrics: MetricsRegistry | None = None
         self.spans: SpanRecorder | None = None
 
-        self._cond = threading.Condition()
+        # Under REPRO_SANITIZE=race the condition's monitor is a tracked
+        # lock and writer threads carry start/join clock edges (zero cost
+        # otherwise — see repro.analysis.race).
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("WriteBehindQueue"))
+        self._cond = make_condition(make_lock("WriteBehindQueue"))
         self._staged: dict[int, np.ndarray] = {}   # guarded-by: _cond  (item -> newest staged copy)
         self._order: deque[int] = deque()          # guarded-by: _cond  (FIFO awaiting a writer)
         self._writing: set[int] = set()            # guarded-by: _cond  (items a writer holds)
@@ -111,8 +117,7 @@ class WriteBehindQueue:
         self._error: BaseException | None = None   # guarded-by: _cond
         self._stop = False                         # guarded-by: _cond
         self._threads = [
-            threading.Thread(target=self._writer_loop, daemon=True,
-                             name=f"writeback-{i}")
+            make_thread(self._writer_loop, daemon=True, name=f"writeback-{i}")
             for i in range(int(io_threads))
         ]
         for t in self._threads:
@@ -128,7 +133,12 @@ class WriteBehindQueue:
         """
         item = int(item)
         tr = self.tracer
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.write(self._race_scope, "stats.writeback", "_staged",
+                         "_order", "_pool")
+                rc.read(self._race_scope, "_stop", "_writing")
             if self._stop:
                 raise OutOfCoreError("write-behind queue is closed")
             if item in self._staged and item not in self._writing:
@@ -179,7 +189,10 @@ class WriteBehindQueue:
         Returns ``True`` on a staging hit — the caller must then *not* read
         the backing store, whose copy may be stale.
         """
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_staged")
             buf = self._staged.get(int(item))
             if buf is None:
                 return False
@@ -188,14 +201,38 @@ class WriteBehindQueue:
 
     def pending(self) -> int:
         """Number of items staged but not yet durable."""
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_staged")
             return len(self._staged)
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """The writer-owned counters, read under the queue lock.
+
+        Metrics collection uses this instead of trusting the copies it
+        took under the *store* lock — those fields are written under this
+        lock, so only this snapshot is race-free and consistent.
+        """
+        rc = self._race
+        with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "stats.writeback")
+            return {
+                "writeback_writes": self.stats.writeback_writes,
+                "writeback_bytes": self.stats.writeback_bytes,
+                "writeback_stalls": self.stats.writeback_stalls,
+            }
 
     # -- barriers ---------------------------------------------------------------
 
     def drain(self) -> None:
         """Block until every staged vector is durable; re-raise writer errors."""
+        rc = self._race
         with self._cond:
+            if rc is not None:
+                rc.read(self._race_scope, "_staged", "_writing")
+                rc.write(self._race_scope, "_error")
             self._cond.notify_all()  # wake a writer parked after an error
             while True:
                 if self._error is not None:
@@ -210,7 +247,10 @@ class WriteBehindQueue:
         try:
             self.drain()
         finally:
+            rc = self._race
             with self._cond:
+                if rc is not None:
+                    rc.write(self._race_scope, "_stop")
                 self._stop = True
                 self._cond.notify_all()
             for t in self._threads:
@@ -219,8 +259,12 @@ class WriteBehindQueue:
     # -- writer side -------------------------------------------------------------
 
     def _writer_loop(self) -> None:  # thread: writer
+        rc = self._race
         while True:
             with self._cond:
+                if rc is not None:
+                    rc.read(self._race_scope, "_stop", "_staged")
+                    rc.write(self._race_scope, "_order", "_writing")
                 while not self._order and not self._stop:
                     self._cond.wait()
                 if self._stop:
@@ -237,6 +281,9 @@ class WriteBehindQueue:
                 write_dur = time.perf_counter() - write_t0
             except BaseException as exc:  # noqa: BLE001 - surfaced via drain()
                 with self._cond:
+                    if rc is not None:
+                        rc.write(self._race_scope, "_writing", "_order",
+                                 "_error")
                     self._writing.discard(item)
                     self._order.append(item)  # keep the data; retry later
                     if self._error is None:
@@ -259,6 +306,9 @@ class WriteBehindQueue:
                 sp.complete("writeback_drain", write_t0, write_dur,
                             {"item": item})
             with self._cond:
+                if rc is not None:
+                    rc.write(self._race_scope, "_writing", "_staged", "_pool",
+                             "stats.writeback")
                 self._writing.discard(item)
                 self.stats.writeback_writes += 1
                 self.stats.writeback_bytes += self.item_bytes

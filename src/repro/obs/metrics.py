@@ -30,9 +30,9 @@ scrapes observe monotone counters.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
+from repro.analysis.race import make_lock, race_detector
 from repro.errors import OutOfCoreError
 from repro.obs.histogram import LogHistogram
 
@@ -159,10 +159,15 @@ class MetricsRegistry:
         self._hists: dict[str, LogHistogram] = {
             name: LogHistogram() for name, kind in self._kinds.items()
             if kind == "histogram"}
-        self._collectors: list[Callable[[], None]] = []
+        self._collectors: list[Callable[[], None]] = []  # guarded-by: _collect_lock
         # Serialises collector callbacks (scrape-time only); push-side
-        # updates stay lock-free under the single-writer-per-name rule.
-        self._collect_lock = threading.Lock()
+        # updates stay lock-free under the single-writer-per-name rule
+        # (plain GIL-atomic dict-slot stores — deliberately outside the
+        # race sanitizer's scope, see the module docstring).
+        self._collect_lock = make_lock("MetricsRegistry")
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("MetricsRegistry"))
 
     # -- catalogue validation ---------------------------------------------------
 
@@ -205,19 +210,28 @@ class MetricsRegistry:
 
     def register_collector(self, fn: Callable[[], None]) -> None:
         """Register a callback run at every :meth:`collect` (idempotent)."""
+        rc = self._race
         with self._collect_lock:
+            if rc is not None:
+                rc.write(self._race_scope, "_collectors")
             if fn not in self._collectors:
                 self._collectors.append(fn)
 
     def unregister_collector(self, fn: Callable[[], None]) -> None:
         """Remove a collector previously registered (missing is a no-op)."""
+        rc = self._race
         with self._collect_lock:
+            if rc is not None:
+                rc.write(self._race_scope, "_collectors")
             if fn in self._collectors:
                 self._collectors.remove(fn)
 
     def collect(self) -> None:
         """Run every registered collector (serialised; scrape-time only)."""
+        rc = self._race
         with self._collect_lock:
+            if rc is not None:
+                rc.read(self._race_scope, "_collectors")
             for fn in list(self._collectors):
                 fn()
 

@@ -15,6 +15,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from types import TracebackType
 from typing import Any
 
+from repro.analysis.race import make_thread
 from repro.obs.metrics import MetricsRegistry
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -69,8 +70,10 @@ class MetricsServer(ThreadingHTTPServer):
     def start(self) -> "MetricsServer":
         """Begin serving on a daemon thread (idempotent)."""
         if self._thread is None:
-            self._thread = threading.Thread(
-                target=self.serve_forever, name="metrics-server", daemon=True)
+            # Tracked under REPRO_SANITIZE=race so scrape-thread collector
+            # runs are ordered after everything registered before start().
+            self._thread = make_thread(self.serve_forever,
+                                       name="metrics-server")
             self._thread.start()
         return self
 

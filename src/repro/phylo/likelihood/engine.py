@@ -23,6 +23,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.analysis.race import race_detector
 from repro.core.layout import StorageLayout, WholeVectorLayout, make_layout
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import LikelihoodError
@@ -247,6 +248,12 @@ class LikelihoodEngine:
                 f"kernel_threads must be >= 1, got {kernel_threads}")
         self._schedule_cache = ScheduleCache() if self.batch_members else None
         self._kernel_pool = None
+        # Under REPRO_SANITIZE=race, scale-count/orientation traffic and
+        # the kernel-pool handoff carry happens-before edges (zero cost
+        # otherwise — see repro.analysis.race).
+        self._race = race_detector()
+        self._race_scope = ("" if self._race is None
+                            else self._race.new_scope("LikelihoodEngine"))
 
         # Per-site underflow-scaling counters stay in RAM (like tips, they
         # are small compared to the CLVs themselves — paper §3.1).
@@ -352,6 +359,9 @@ class LikelihoodEngine:
 
     def plan(self, u: int, v: int, full: bool = False) -> TraversalPlan:
         """Plan the CLV recomputations needed to evaluate edge ``(u, v)``."""
+        rc = self._race
+        if rc is not None:
+            rc.read(self._race_scope, "orientation")
         tm, sp = self.timers, self.spans
         if tm is None and sp is None:
             return plan_edge_traversal(self.tree, self.orientation, u, v, full)
@@ -440,6 +450,9 @@ class LikelihoodEngine:
 
             left_inner = not tree.is_tip(left)
             right_inner = not tree.is_tip(right)
+            rc = self._race
+            if rc is not None:
+                rc.write(self._race_scope, "scale_counts", "orientation")
             counts = self.scale_counts[self.item(node)]
             counts.fill(0)
             if left_inner:
@@ -525,18 +538,17 @@ class LikelihoodEngine:
         pending: tuple | None = None  # (future, group) of an in-flight kernel
         for gi, group in enumerate(schedule.groups):
             if pending is not None and self._group_depends(group, pending[1]):
-                pending[0].result()
+                self._await_group(pending[0])
                 pending = None
             stacks = self._gather_group(group)
             if pool is None:
                 self._compute_group(gi, group, stacks)
             else:
                 if pending is not None:
-                    pending[0].result()  # depth-1 pipeline
-                pending = (pool.submit(self._compute_group, gi, group, stacks),
-                           group)
+                    self._await_group(pending[0])  # depth-1 pipeline
+                pending = (self._submit_group(pool, gi, group, stacks), group)
         if pending is not None:
-            pending[0].result()
+            self._await_group(pending[0])
         if sp_plan is not None:
             sp_plan.complete("execute_plan", exec_t0,
                              time.perf_counter() - exec_t0,
@@ -552,6 +564,34 @@ class LikelihoodEngine:
             self._kernel_pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-kernel")
         return self._kernel_pool
+
+    def _submit_group(self, pool, gi: int, group: BatchGroup,
+                      stacks: list[dict]):
+        """Submit one group kernel, carrying a happens-before fork token.
+
+        Under the race sanitizer the worker must observe everything this
+        thread did before the submit (the gathered stacks, the children's
+        scale counts); the fork token joined at task start models exactly
+        that executor handoff. ``_await_group`` closes the reverse edge.
+        """
+        rc = self._race
+        token = None if rc is None else rc.fork()
+        return pool.submit(self._run_group, token, gi, group, stacks)
+
+    def _run_group(self, token, gi: int, group: BatchGroup,
+                   stacks: list[dict]):
+        rc = self._race
+        if rc is not None and token is not None:
+            rc.join(token)
+        self._compute_group(gi, group, stacks)
+        return None if rc is None else rc.fork()
+
+    def _await_group(self, fut) -> None:
+        """Block on an in-flight group kernel and join its clock edge."""
+        end = fut.result()
+        rc = self._race
+        if rc is not None and end is not None:
+            rc.join(end)
 
     @staticmethod
     def _group_depends(group: BatchGroup, running: BatchGroup) -> bool:
@@ -634,7 +674,7 @@ class LikelihoodEngine:
             self._timed_get(item, pins=pins, write_only=wo)  # view deferred
         return list(classes.values())
 
-    def _compute_group(self, gi: int, group: BatchGroup,
+    def _compute_group(self, gi: int, group: BatchGroup,  # thread: kernel
                        stacks: list[dict]) -> None:
         """Fused kernels for one gathered group, then out-of-band fills.
 
@@ -643,6 +683,9 @@ class LikelihoodEngine:
         ``fill`` — never the demand ``get`` path.
         """
         tm, sp = self.timers, self.spans
+        rc = self._race
+        if rc is not None:
+            rc.write(self._race_scope, "scale_counts", "orientation")
         k0 = time.perf_counter() if (tm is not None or sp is not None) else 0.0
         # Scale-count prep once per node, before this group's rescales
         # touch any of its rows (children finished in earlier groups).
@@ -706,6 +749,9 @@ class LikelihoodEngine:
         counts = np.zeros(self.num_patterns, dtype=np.int64)
         u_inner = not tree.is_tip(u)
         v_inner = not tree.is_tip(v)
+        rc = self._race
+        if rc is not None:
+            rc.read(self._race_scope, "scale_counts")
         if u_inner:
             counts += self.scale_counts[self.item(u)]
         if v_inner:

@@ -1,0 +1,2 @@
+"""Analyzer fixture corpus. Static packages are parsed, never imported;
+``racepkg`` is the one runtime package (see its docstring)."""

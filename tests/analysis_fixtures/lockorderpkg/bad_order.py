@@ -1,0 +1,22 @@
+"""Seeded lexical lock-order inversion (analyzer fixture; never imported)."""
+
+import threading
+
+
+class Pair:
+    """Two locks taken in opposite orders by two methods: AB/BA deadlock."""
+
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.count = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:  # expect: LOK101
+                self.count += 1
+
+    def backward(self) -> None:
+        with self._b:
+            with self._a:  # expect: LOK101
+                self.count -= 1

@@ -1,0 +1,40 @@
+"""Interprocedural lock-order inversion (analyzer fixture; never imported).
+
+Neither method nests two ``with`` blocks lexically — the cycle only
+exists through the call graph: ``Delta.tick`` holds ``_d`` and calls a
+method that acquires ``_e``, while ``Epsilon.sync`` holds ``_e`` and
+calls a method that acquires ``_d``. Only the interprocedural
+acquired-locks summaries can see it.
+"""
+
+import threading
+
+
+class Delta:
+    def __init__(self, other: "Epsilon") -> None:
+        self._d = threading.Lock()
+        self.other = other
+        self.val = 0
+
+    def tick(self) -> None:
+        with self._d:
+            self.other.bump()  # expect: LOK101 -- acquires _e under _d
+
+    def set_val(self, v: int) -> None:
+        with self._d:
+            self.val = v
+
+
+class Epsilon:
+    def __init__(self, delta: Delta) -> None:
+        self._e = threading.Lock()
+        self.delta = delta
+        self.total = 0
+
+    def bump(self) -> None:
+        with self._e:
+            self.total += 1
+
+    def sync(self) -> None:
+        with self._e:
+            self.delta.set_val(self.total)  # expect: LOK101 -- acquires _d under _e

@@ -1,0 +1,26 @@
+"""Consistent lock order: same two locks, always A before B (clean)."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.state = 0
+
+    def one(self) -> None:
+        with self._a:
+            with self._b:
+                self.state += 1
+
+    def two(self) -> None:
+        with self._a:
+            with self._b:
+                self.state -= 1
+
+    def reenter(self) -> None:
+        # Calling a method that re-acquires an already-held lock is not an
+        # ordering edge (re-entrant through the call).
+        with self._a:
+            self.one()

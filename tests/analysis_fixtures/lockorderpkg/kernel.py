@@ -1,0 +1,33 @@
+"""Seeded kernel-callback lock acquisition (analyzer fixture; never imported)."""
+
+import threading
+
+
+class MiniStore:
+    """A store with a lock and a thread-safe out-of-band door."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.slots: dict = {}  # guarded-by: _lock
+
+    def fill(self, item: int, data: object) -> None:
+        with self._lock:
+            self.slots[item] = data
+
+
+class Scheduler:
+    def __init__(self, store: MiniStore) -> None:
+        self.store = store
+        self.done = 0
+
+    def bad_compute(self, item: int, data: object) -> None:  # thread: kernel
+        # A kernel callback must not take locks itself...
+        with self.store._lock:  # expect: LOK102
+            self.store.slots[item] = data
+
+    def good_compute(self, item: int, data: object) -> None:  # thread: kernel
+        # ...it goes through the store's thread-safe entry point instead
+        # (fill acquires the lock internally; that is not a direct
+        # acquisition in the callback and is allowed).
+        self.store.fill(item, data)
+        self.done += 1

@@ -39,6 +39,47 @@ class Guarded:
     def annotated_fast_path(self) -> int:
         return self._count  # lockfree-ok: monotonic int read, staleness is fine
 
+    def bad_lambda_capture(self):
+        with self._lock:
+            # The lambda body runs whenever the caller invokes it — the
+            # lock is long gone by then.
+            return lambda: self._table[0]  # expect: LOCK001
+
+    def good_lambda_default(self):
+        with self._lock:
+            # Default values are evaluated NOW, under the lock.
+            return lambda t=len(self._table): t
+
+    def bad_deferred_genexp(self):
+        with self._lock:
+            gen = (k for k in self._table)  # expect: LOCK001
+        return list(gen)  # iterated after release
+
+    def good_inline_genexp(self) -> int:
+        with self._lock:
+            # Consumed directly as a call argument: exhausted before
+            # sum() returns, locks still held.
+            return sum(1 for k in self._table if k)
+
+    def good_listcomp(self) -> list:
+        with self._lock:
+            return [k for k in self._table]
+
+
+class InitClosures:
+    """``__init__`` is exempt inline, but closures minted there are not."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._items: list = []  # guarded-by: _lock
+        self._items.append(0)  # inline in __init__: exempt (not yet shared)
+
+        def worker():
+            return self._items.pop()  # expect: LOCK001
+
+        self.callback = worker
+        self.peek = lambda: self._items[-1]  # expect: LOCK001
+
 
 class Client:
     def __init__(self, guarded: Guarded) -> None:

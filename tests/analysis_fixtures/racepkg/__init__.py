@@ -1,0 +1,17 @@
+"""Runtime race-sanitizer toys (driven by tests/test_race.py).
+
+Unlike the sibling fixture packages, these modules ARE imported and
+executed: the ``# expect:`` markers anchor *runtime* findings
+(RACE001/RACE002) that the tests assert after driving the toys under
+``repro.analysis.race.sanitizer()``. They are deliberately excluded from
+the static-corpus ``PACKAGES`` list in tests/test_analysis.py.
+"""
+
+from tests.analysis_fixtures.racepkg.racy import (  # noqa: F401
+    GuardedCounter,
+    RacyCounter,
+    UnsafePublish,
+    run_guarded_counter,
+    run_racy_counter,
+    run_unsafe_publish,
+)

@@ -1,0 +1,123 @@
+"""Deliberately racy (and one clean) toy stores for the runtime sanitizer.
+
+Each driver builds its toy *inside* an active detector (install one with
+``repro.analysis.race.sanitizer()`` first), runs a short multi-threaded
+episode and returns. The ``# expect:`` markers name the exact rule the
+detector must anchor at that line — tests/test_race.py parses them with
+the same regex as the static fixture corpus and compares against the
+detector's findings. Detection is happens-before based, not timing
+based, so the expectations hold on every schedule the fuzzer generates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.race import make_lock, make_thread, race_detector
+
+
+class RacyCounter:
+    """Two racer threads increment an unguarded counter; main reads it."""
+
+    def __init__(self) -> None:
+        self._race = race_detector()
+        self._scope = ("" if self._race is None
+                       else self._race.new_scope("RacyCounter"))
+        self.value = 0
+
+    def bump(self, rounds: int) -> None:
+        rc = self._race
+        for _ in range(rounds):
+            if rc is not None:
+                rc.write(self._scope, "value")  # expect: RACE001
+            self.value += 1
+
+    def total(self) -> int:
+        rc = self._race
+        if rc is not None:
+            rc.read(self._scope, "value")  # expect: RACE002
+        return self.value
+
+
+class UnsafePublish:
+    """A publisher thread stores a payload; the consumer never syncs."""
+
+    def __init__(self) -> None:
+        self._race = race_detector()
+        self._scope = ("" if self._race is None
+                       else self._race.new_scope("UnsafePublish"))
+        self.box: object = None
+
+    def publish(self, payload: object) -> None:
+        rc = self._race
+        if rc is not None:
+            rc.write(self._scope, "box")
+        self.box = payload
+
+    def consume(self) -> object:
+        rc = self._race
+        if rc is not None:
+            rc.read(self._scope, "box")  # expect: RACE002
+        return self.box
+
+
+class GuardedCounter:
+    """The clean twin of :class:`RacyCounter`: same traffic, one lock."""
+
+    def __init__(self) -> None:
+        self._race = race_detector()
+        self._scope = ("" if self._race is None
+                       else self._race.new_scope("GuardedCounter"))
+        self._lock = make_lock("GuardedCounter")
+        self.value = 0
+
+    def bump(self, rounds: int) -> None:
+        rc = self._race
+        for _ in range(rounds):
+            with self._lock:
+                if rc is not None:
+                    rc.write(self._scope, "value")
+                self.value += 1
+
+    def total(self) -> int:
+        rc = self._race
+        with self._lock:
+            if rc is not None:
+                rc.read(self._scope, "value")
+            return self.value
+
+
+# -- drivers (run under an installed detector) ----------------------------------
+
+
+def run_racy_counter(rounds: int = 32) -> RacyCounter:
+    counter = RacyCounter()
+    racers = [make_thread(counter.bump, name=f"racer-{i}", args=(rounds,))
+              for i in range(2)]
+    for t in racers:
+        t.start()
+    # Read while the racers may still be running — deliberately no join
+    # first, so the read has no happens-before edge to their writes.
+    counter.total()
+    for t in racers:
+        t.join()
+    return counter
+
+
+def run_unsafe_publish() -> UnsafePublish:
+    cell = UnsafePublish()
+    publisher = make_thread(cell.publish, name="publisher", args=("payload",))
+    publisher.start()
+    cell.consume()  # unsynchronised with the publisher's store
+    publisher.join()
+    return cell
+
+
+def run_guarded_counter(rounds: int = 32) -> GuardedCounter:
+    counter = GuardedCounter()
+    racers = [make_thread(counter.bump, name=f"racer-{i}", args=(rounds,))
+              for i in range(2)]
+    for t in racers:
+        t.start()
+    counter.total()  # ordered: the lock serialises it against the racers
+    for t in racers:
+        t.join()
+    return counter

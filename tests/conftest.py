@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro import GTR, LikelihoodEngine, RateModel, simulate_alignment, yule_tree
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_switch_interval():
+    """Honour ``REPRO_RACE_SWITCH=aggressive`` (the CI race job's matrix).
+
+    An aggressively small interpreter switch interval forces many more
+    thread preemptions per test, widening the base schedules the race
+    sanitizer and the interleaving fuzzer observe beyond the default
+    5 ms quantum. Any other value (or unset) leaves the default alone.
+    """
+    if os.environ.get("REPRO_RACE_SWITCH") != "aggressive":
+        yield
+        return
+    before = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(before)
 
 
 @pytest.fixture(scope="session")
