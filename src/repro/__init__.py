@@ -26,6 +26,18 @@ from repro.core.backing import (
     MultiFileBackingStore,
     SimulatedDiskBackingStore,
 )
+from repro.core.compress import (
+    CompressedFileBackingStore,
+    NullCodec,
+    ZlibCodec,
+    make_codec,
+)
+from repro.core.faults import (
+    FaultInjectingBackingStore,
+    InjectedFault,
+    RetryingBackingStore,
+    SimulatedCrash,
+)
 from repro.core.layout import (
     ConcatenatedLayout,
     SiteBlockLayout,
@@ -99,6 +111,9 @@ __all__ = [
     "ConcatenatedLayout", "make_layout",
     "MemoryBackingStore", "FileBackingStore", "MultiFileBackingStore",
     "SimulatedDiskBackingStore", "Prefetcher", "ThreadedPrefetcher",
+    "CompressedFileBackingStore", "ZlibCodec", "NullCodec", "make_codec",
+    "FaultInjectingBackingStore", "RetryingBackingStore",
+    "InjectedFault", "SimulatedCrash",
     "WriteBehindQueue", "TieredVectorStore",
     "ShadowStore", "TeeStore",
     "AccessTrace", "RecordingStoreProxy", "simulate_policy_on_trace",

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -85,6 +87,16 @@ def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
     if backing_kind == "simulated":
         backing = SimulatedDiskBackingStore.from_layout(
             lay, np.float64, disk=DiskModel.hdd())
+    elif backing_kind == "compressed":
+        from repro.core.compress import CompressedFileBackingStore
+
+        # Real (temp-dir) file I/O: the compression-ratio numbers must
+        # come from actual on-disk records, not a model. The directory
+        # lives until run_bench's cleanup (ctx["tmpdirs"]).
+        td = tempfile.TemporaryDirectory(prefix="repro-bench-czb-")
+        ctx.setdefault("tmpdirs", []).append(td)
+        backing = CompressedFileBackingStore.from_layout(
+            os.path.join(td.name, "vectors.czb"), lay, np.float64)
     policy_kwargs = {"seed": ctx["seed"]} if policy == "random" else None
     return LikelihoodEngine(
         tree.copy(), alignment, model, rates,
@@ -203,6 +215,9 @@ def _workloads(ctx):
     yield ("fig5_paging", "fig5",
            lambda: _build_engine(ctx, store=_paging_store(ctx)),
            full, cfg(policy=None, layout="paged", backing="simulated-hdd"))
+    yield ("fig5_ooc_compressed", "fig5",
+           lambda: _build_engine(ctx, backing_kind="compressed"),
+           full, cfg(policy="lru", layout="whole", backing="compressed-zlib"))
     yield ("spr_search_whole", "spr",
            lambda: _build_engine(ctx, policy="lru"),
            search, cfg(policy="lru", layout="whole", radius=radius,
@@ -280,6 +295,11 @@ def run_bench(args) -> int:
             if name == "fig5_paging":
                 rep["simulated_io_seconds"] = float(store.simulated_seconds)
                 rep["faults"] = int(store.faults)
+            elif name == "fig5_ooc_compressed":
+                backing = store.backing
+                rep["compression_ratio"] = float(backing.compression_ratio)
+                rep["backing_bytes_written"] = int(
+                    backing.stored_bytes_written)
             elif figure == "fig5":
                 rep["simulated_io_seconds"] = float(
                     store.backing.simulated_seconds)
@@ -325,6 +345,38 @@ def run_bench(args) -> int:
         batched["derived"]["speedup_vs_unbatched"] = float(speedup)
         print(f"{batch_name:>24}: {speedup:.2f}x vs {plain_name} "
               "(lnL + counters bit-identical)")
+
+    # Compressed-backing gate: same LRU/whole-vector workload as
+    # fig5_ooc_whole, so the likelihood and demand counters must match
+    # bit-for-bit (CLVs round-trip exactly through the codec), while the
+    # physical bytes on disk must come in BELOW the logical write traffic
+    # — otherwise compression is costing I/O instead of saving it.
+    comp = workloads["fig5_ooc_compressed"]
+    plain = workloads["fig5_ooc_whole"]
+    if comp["log_likelihood"] != plain["log_likelihood"]:
+        raise ReproError(
+            f"fig5_ooc_compressed lnL {comp['log_likelihood']!r} differs "
+            f"from fig5_ooc_whole {plain['log_likelihood']!r}: compressed "
+            "backing broke CLV round-trip")
+    diff = [k for k in RESULT_METRICS
+            if comp["metrics"][k] != plain["metrics"][k]]
+    if diff:
+        raise ReproError(
+            f"fig5_ooc_compressed counters differ from fig5_ooc_whole on "
+            f"{diff}: compression must be transparent to the store")
+    if comp["backing_bytes_written"] >= comp["metrics"]["bytes_written"]:
+        raise ReproError(
+            f"compressed backing wrote {comp['backing_bytes_written']} "
+            f"physical bytes >= {comp['metrics']['bytes_written']} logical "
+            "bytes: compression is not reducing I/O")
+    comp["derived"]["compression_ratio"] = comp["compression_ratio"]
+    print(f"{'fig5_ooc_compressed':>24}: ratio "
+          f"{comp['compression_ratio']:.2f}x, "
+          f"{comp['backing_bytes_written']}/{comp['metrics']['bytes_written']}"
+          " physical/logical bytes written (lnL bit-identical)")
+
+    for td in ctx.get("tmpdirs", []):
+        td.cleanup()
 
     doc = {
         "schema": RESULTS_SCHEMA,

@@ -26,6 +26,7 @@ from repro.phylo.models.protein import EmpiricalProteinModel
 from repro.phylo.models.rates import RateModel
 from repro.phylo.msa import Alignment
 from repro.phylo.newick import parse_newick, write_newick
+from repro.phylo.tree import Tree
 
 FORMAT_VERSION = 1
 
@@ -83,16 +84,71 @@ def _alignment_fingerprint(alignment: Alignment) -> dict:
     }
 
 
+def _tree_to_dict(tree: Tree) -> dict:
+    """Exact structural snapshot of a tree: node numbering, adjacency
+    *order* and branch-length insertion order included.
+
+    A Newick round-trip preserves the topology and (at precision 17) the
+    branch lengths, but renumbers inner nodes and reorders adjacency
+    lists — and the SPR driver enumerates candidate moves in adjacency
+    order, so a resumed search would explore moves in a different order
+    and converge to a slightly different optimum. Bit-identical resume
+    needs the tree back exactly as it was, so the checkpoint carries the
+    raw adjacency structure (JSON floats round-trip float64 exactly via
+    ``repr``).
+    """
+    return {
+        "names": list(tree.names),
+        # node ids can be numpy integers (rng-built topologies): coerce
+        # to plain ints for JSON
+        "neighbors": [[int(nb) for nb in tree.neighbors(node)]
+                      for node in tree.nodes()],
+        "lengths": [[int(u), int(v), tree.branch_length(u, v)]
+                    for (u, v) in tree._lengths],
+    }
+
+
+def _tree_from_dict(data: dict) -> Tree:
+    tree = Tree(len(data["names"]), list(data["names"]))
+    tree._neighbors = [list(nb) for nb in data["neighbors"]]
+    tree._lengths = {(u, v): float(length)
+                     for u, v, length in data["lengths"]}
+    tree.validate()
+    return tree
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory entry so the rename itself survives a crash."""
+    dfd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dfd)
+    finally:
+        os.close(dfd)
+
+
 def save_checkpoint(engine: LikelihoodEngine, path: str | os.PathLike,
-                    extra: dict | None = None) -> None:
+                    extra: dict | None = None, *,
+                    sync_store: bool = True) -> None:
     """Write a resumable JSON checkpoint of ``engine`` to ``path``.
 
     ``extra`` may carry caller state (e.g. the search round counter); it is
     round-tripped verbatim under the ``"extra"`` key.
+
+    Durability discipline (see DESIGN.md "Durability & failure model"):
+    with ``sync_store=True`` the engine's vector store is flushed first —
+    dirty residents written back, the write-behind queue drained, and the
+    backing store fsynced — then the document is written to a temp file,
+    fsynced, atomically renamed over ``path``, and the directory entry
+    fsynced. A crash at ANY point leaves either the previous checkpoint or
+    the new one, never a torn file, and never a checkpoint that is newer
+    than the backing data it describes.
     """
+    if sync_store and hasattr(engine.store, "flush"):
+        engine.store.flush()
     doc = {
         "format_version": FORMAT_VERSION,
         "tree": write_newick(engine.tree, precision=17),
+        "tree_exact": _tree_to_dict(engine.tree),
         "model": _model_to_dict(engine.model),
         "rates": _rates_to_dict(engine.rates),
         "dtype": engine.dtype.name,
@@ -106,7 +162,10 @@ def save_checkpoint(engine: LikelihoodEngine, path: str | os.PathLike,
     tmp = f"{os.fspath(path)}.tmp"
     with open(tmp, "w") as fh:
         json.dump(doc, fh, indent=1)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)  # atomic on POSIX: no torn checkpoints
+    _fsync_dir(os.fspath(path))
 
 
 def load_checkpoint(path: str | os.PathLike, alignment: Alignment,
@@ -130,7 +189,12 @@ def load_checkpoint(path: str | os.PathLike, alignment: Alignment,
             "alignment does not match the checkpoint "
             f"(expected {doc['alignment']}, got {fp})"
         )
-    tree = parse_newick(doc["tree"])
+    # Prefer the exact structural snapshot (bit-identical resume); fall
+    # back to the Newick form for documents written before it existed.
+    if "tree_exact" in doc:
+        tree = _tree_from_dict(doc["tree_exact"])
+    else:
+        tree = parse_newick(doc["tree"])
     if sorted(tree.names) != sorted(alignment.names):
         raise ReproError("checkpoint tree taxa do not match the alignment")
     model = _model_from_dict(doc["model"])

@@ -22,6 +22,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -186,10 +187,22 @@ def cmd_search(args) -> int:
     from repro.phylo.search import ml_search
 
     alignment = _read_alignment(args.msa)
-    tree = _tree_for(alignment, args)
-    engine = _engine_for(alignment, tree, args)
+    resume_state = None
+    if args.checkpoint and args.resume and os.path.exists(args.checkpoint):
+        from repro.checkpoint import load_checkpoint
+
+        engine, extra = load_checkpoint(args.checkpoint, alignment)
+        resume_state = extra.get("search")
+        print(f"resumed        : {args.checkpoint} "
+              f"(round {resume_state['rounds'] if resume_state else 0})")
+    else:
+        tree = _tree_for(alignment, args)
+        engine = _engine_for(alignment, tree, args)
     t0 = time.perf_counter()
-    result = ml_search(engine, radius=args.radius, max_rounds=args.rounds)
+    result = ml_search(engine, radius=args.radius, max_rounds=args.rounds,
+                       checkpoint_path=args.checkpoint,
+                       checkpoint_every=args.checkpoint_every,
+                       resume_state=resume_state)
     if args.optimize_alpha and engine.rates.alpha is not None:
         alpha = optimize_alpha(engine)
         print(f"alpha          : {alpha:.4f}")
@@ -363,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--radius", type=int, default=5)
     p.add_argument("--rounds", type=int, default=10)
     p.add_argument("--optimize-alpha", action="store_true")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="crash-safe checkpoint file (written during the "
+                        "search; see --checkpoint-every / --resume)")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="write the checkpoint after every N search rounds "
+                        "(default 1)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists (tree and "
+                        "model are restored from the file)")
     p.add_argument("-o", "--out", help="output Newick file")
     p.set_defaults(func=cmd_search)
 

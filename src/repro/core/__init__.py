@@ -18,6 +18,19 @@ from repro.core.backing import (
     MultiFileBackingStore,
     SimulatedDiskBackingStore,
 )
+from repro.core.compress import (
+    Codec,
+    CompressedFileBackingStore,
+    NullCodec,
+    ZlibCodec,
+    make_codec,
+)
+from repro.core.faults import (
+    FaultInjectingBackingStore,
+    InjectedFault,
+    RetryingBackingStore,
+    SimulatedCrash,
+)
 from repro.core.layout import (
     DEFAULT_BLOCK_SITES,
     ConcatenatedLayout,
@@ -58,6 +71,15 @@ __all__ = [
     "FileBackingStore",
     "MultiFileBackingStore",
     "SimulatedDiskBackingStore",
+    "CompressedFileBackingStore",
+    "Codec",
+    "ZlibCodec",
+    "NullCodec",
+    "make_codec",
+    "FaultInjectingBackingStore",
+    "RetryingBackingStore",
+    "InjectedFault",
+    "SimulatedCrash",
     "ReplacementPolicy",
     "RandomPolicy",
     "LruPolicy",

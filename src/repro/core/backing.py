@@ -20,7 +20,7 @@ import contextlib
 import os
 import threading
 import time
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from numpy.typing import DTypeLike
 
@@ -34,18 +34,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.histogram import BackingProbe
     from repro.obs.metrics import MetricsRegistry
 
+#: Bound on consecutive zero-byte transfers before a write is declared
+#: stuck. A zero return is a legitimate interruption (not an error), but
+#: an endless run of them means the device is wedged.
+_MAX_ZERO_TRANSFERS = 16
+
 
 class BackingStore(Protocol):
     """Protocol for vector-granularity persistent storage.
 
     Implementations store ``num_items`` fixed-size vectors addressed by
     integer id. ``read`` fills a caller-provided buffer (no allocation on
-    the hot path); ``write`` persists a vector.
+    the hot path); ``write`` persists a vector. ``flush`` is the
+    durability barrier: after it returns, every completed ``write`` must
+    survive a process crash (file-backed stores fsync; RAM-backed stores
+    no-op because their durability domain is the process itself).
     """
 
     def read(self, item: int, out: np.ndarray) -> None: ...
 
     def write(self, item: int, data: np.ndarray) -> None: ...
+
+    def flush(self) -> None: ...
 
     def close(self) -> None: ...
 
@@ -115,6 +125,9 @@ class MemoryBackingStore:
     def has(self, item: int) -> bool:
         return bool(self._present[item])
 
+    def flush(self) -> None:
+        """No-op: RAM is this store's durability domain."""
+
     def close(self) -> None:
         self._closed = True
 
@@ -123,8 +136,10 @@ class FileBackingStore:
     """The paper's layout: all vectors contiguous in ONE binary file.
 
     Vector ``i`` lives at byte offset ``i * w`` where ``w`` is the vector
-    width — the paper's ``nodemap`` offset field. The file is preallocated
-    (sparse where the OS allows) on construction.
+    width — the paper's ``nodemap`` offset field. A new file is
+    preallocated (sparse where the OS allows) on construction; an
+    *existing* file is reattached read-write with its contents intact, so
+    a checkpointed run can resume against the vectors it already spilled.
 
     Transfers use positioned I/O (``os.pread``/``os.pwrite``), so there is
     no shared file-position cursor: concurrent reader and writer threads —
@@ -143,9 +158,15 @@ class FileBackingStore:
         self.item_bytes = int(np.prod(self.item_shape)) * self.dtype.itemsize
         # The handle intentionally outlives this scope (positioned I/O for
         # the store's whole lifetime); close() / __del__ release it.
-        self._fh = open(self.path, "w+b", buffering=0)  # noqa: SIM115
-        self._fh.truncate(self.num_items * self.item_bytes)
+        # "r+b" on an existing file: "w+b" would truncate a previous run's
+        # spilled vectors to zeros on reattach.
+        exists = os.path.exists(self.path)
+        self._fh = open(self.path, "r+b" if exists else "w+b",  # noqa: SIM115
+                        buffering=0)
         self._fd = self._fh.fileno()
+        total = self.num_items * self.item_bytes
+        if os.fstat(self._fd).st_size < total:
+            self._fh.truncate(total)
         self._closed = False
         # Observability hooks (default off), see MemoryBackingStore.probe.
         self.probe: BackingProbe | None = None
@@ -167,6 +188,39 @@ class FileBackingStore:
             raise BackingStoreError(f"item {item} out of range [0, {self.num_items})")
         return item * self.item_bytes
 
+    def _transfer(self, syscall: Callable[[int, list[memoryview], int], int],
+                  item: int, view: memoryview, offset: int, kind: str) -> int:
+        """Drive a vectored positioned transfer to completion.
+
+        Reads and writes share one loop (``os.preadv``/``os.pwritev``)
+        with symmetric interruption semantics: ``EINTR`` raised before any
+        byte moved is retried, and a zero-byte *write* — a legitimately
+        interrupted transfer on some kernels — is retried up to
+        :data:`_MAX_ZERO_TRANSFERS` times rather than treated as an error.
+        A zero-byte *read* stops the loop: inside the preallocated extent
+        it means EOF, which the caller reports as a short read.
+        """
+        done = 0
+        zeros = 0
+        while done < self.item_bytes:
+            try:
+                n = syscall(self._fd, [view[done:]], offset + done)
+            except InterruptedError:
+                continue  # EINTR before any byte moved: retry the call
+            if n > 0:
+                done += n
+                zeros = 0
+                continue
+            if kind == "read":
+                break  # EOF inside the extent; caller raises short-read
+            zeros += 1
+            if zeros >= _MAX_ZERO_TRANSFERS:
+                raise BackingStoreError(
+                    f"{kind} for item {item} made no progress after "
+                    f"{zeros} attempts: {done}/{self.item_bytes} bytes"
+                )
+        return done
+
     def read(self, item: int, out: np.ndarray) -> None:
         if out.nbytes != self.item_bytes or not out.flags.c_contiguous:
             raise BackingStoreError(
@@ -177,14 +231,13 @@ class FileBackingStore:
         t0 = time.perf_counter() if timed else 0.0
         offset = self._offset(item)
         view = memoryview(out.reshape(-1).view(np.uint8))
-        done = 0
-        while done < self.item_bytes:
-            got = os.preadv(self._fd, [view[done:]], offset + done)
-            if got <= 0:
-                raise BackingStoreError(
-                    f"short read for item {item}: {done}/{self.item_bytes} bytes"
-                )
-            done += got
+        done = self._transfer(os.preadv, item, view, offset, "read")
+        if done < self.item_bytes:
+            # A zero-byte read inside the preallocated extent is EOF —
+            # the file was truncated under us, not a retryable condition.
+            raise BackingStoreError(
+                f"short read for item {item}: {done}/{self.item_bytes} bytes"
+            )
         if timed:
             dt = time.perf_counter() - t0
             if probe is not None:
@@ -204,14 +257,11 @@ class FileBackingStore:
         t0 = time.perf_counter() if timed else 0.0
         offset = self._offset(item)
         view = memoryview(data.reshape(-1).view(np.uint8))
-        done = 0
-        while done < self.item_bytes:
-            put = os.pwrite(self._fd, view[done:], offset + done)
-            if put <= 0:
-                raise BackingStoreError(
-                    f"short write for item {item}: {done}/{self.item_bytes} bytes"
-                )
-            done += put
+        done = self._transfer(os.pwritev, item, view, offset, "write")
+        if done < self.item_bytes:
+            raise BackingStoreError(
+                f"short write for item {item}: {done}/{self.item_bytes} bytes"
+            )
         if timed:
             dt = time.perf_counter() - t0
             if probe is not None:
@@ -301,6 +351,11 @@ class MultiFileBackingStore:
             if mx is not None:
                 mx.observe("backing_write_seconds", dt)
 
+    def flush(self) -> None:
+        """Durability barrier: fsync every stripe file."""
+        for fh in self._files:
+            fh.flush()
+
     def close(self) -> None:
         for fh in self._files:
             fh.close()
@@ -382,6 +437,10 @@ class SimulatedDiskBackingStore:
                 probe.record_write(dt, data.nbytes)
             if mx is not None:
                 mx.observe("backing_write_seconds", dt)
+
+    def flush(self) -> None:
+        """No physical medium to sync; delegate to the RAM inner store."""
+        self._inner.flush()
 
     def close(self) -> None:
         self._inner.close()

@@ -73,6 +73,10 @@ class HostTierBacking:
         self.transfers_down += 1
         self.bytes_moved += data.nbytes
 
+    def flush(self) -> None:
+        """Durability barrier: drain the host tier down to its backing."""
+        self.host.flush()
+
     def close(self) -> None:
         self.host.close()
 

@@ -914,6 +914,9 @@ class AncestralVectorStore:
                 self.stats.bytes_written += self.item_bytes
                 self._dirty[slot] = False
         self.drain()
+        # Only now is every write actually ON the device, not just handed
+        # to the OS: the backing-level flush is the fsync barrier.
+        self.backing.flush()
 
     def drain(self) -> None:
         """Barrier: block until all staged write-behind data is durable."""

@@ -59,6 +59,11 @@ METRIC_NAMES = frozenset({
     "writeback_bytes",
     "writeback_stalls",
     "writeback_read_hits",
+    # -- backing-tier durability/compression (pushed by the wrappers) --
+    "backing_retries",
+    "backing_faults",
+    "compress_bytes_raw",
+    "compress_bytes_stored",
     # -- engine phase counters (seconds are monotone totals) --
     "phase_plan_seconds",
     "phase_plan_calls",
@@ -105,6 +110,13 @@ METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
     "writeback_bytes": ("counter", "Bytes drained by the writer thread(s)"),
     "writeback_stalls": ("counter", "Evictions blocked on a full staging buffer"),
     "writeback_read_hits": ("counter", "Reads served from the staging buffer"),
+    "backing_retries": ("counter", "Backing operations retried after a "
+                                   "transient failure"),
+    "backing_faults": ("counter", "Faults injected into the backing tier"),
+    "compress_bytes_raw": ("counter", "Logical bytes through the compressed "
+                                      "backing"),
+    "compress_bytes_stored": ("counter", "Physical bytes through the "
+                                         "compressed backing"),
     "phase_plan_seconds": ("counter", "Engine time planning traversals"),
     "phase_plan_calls": ("counter", "Engine plan laps"),
     "phase_kernel_seconds": ("counter", "Engine time in likelihood kernels"),

@@ -92,6 +92,10 @@ def _make_backing(kind: str, layout, dtype, workdir: str):
     if kind == "simulated":
         from repro.core.backing import SimulatedDiskBackingStore
         return SimulatedDiskBackingStore.from_layout(layout, dtype)
+    if kind == "compressed":
+        from repro.core.compress import CompressedFileBackingStore
+        return CompressedFileBackingStore.from_layout(
+            os.path.join(workdir, "vectors.czb"), layout, dtype)
     raise ReproError(f"unknown backing store kind {kind!r}")
 
 
@@ -105,6 +109,9 @@ def _build_engine(alignment, tree, args, workdir: str) -> LikelihoodEngine:
         args.layout, probe.num_inner, probe.clv_shape,
         block_sites=args.block_sites if args.layout == "block" else None)
     backing = _make_backing(args.backing, layout, probe.dtype, workdir)
+    if backing is not None and getattr(args, "backing_retries", 0) > 0:
+        from repro.core.faults import RetryingBackingStore
+        backing = RetryingBackingStore(backing, retries=args.backing_retries)
     del probe
     policy_kwargs = {"seed": args.seed} if args.policy == "random" else None
     return LikelihoodEngine(
@@ -332,8 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["random", "lru", "lfu", "fifo", "clock",
                                  "topological"])
     parser.add_argument("--backing", default="memory",
-                        choices=["memory", "file", "simulated"],
+                        choices=["memory", "file", "simulated", "compressed"],
                         help="backing store for evicted vectors")
+    parser.add_argument("--backing-retries", type=int, default=0,
+                        help="wrap the backing in a RetryingBackingStore "
+                             "with this retry budget (0 = no wrapper)")
     parser.add_argument("--writeback-depth", type=int, default=0)
     parser.add_argument("--io-threads", type=int, default=1)
     parser.add_argument("--prefetch-depth", type=int, default=0)

@@ -49,6 +49,9 @@ class GatedBackingStore:
         self.write_calls += 1
         self.inner.write(item, data)
 
+    def flush(self):
+        self.inner.flush()
+
     def close(self):
         self.inner.close()
 
@@ -69,6 +72,9 @@ class FlakyWriteBackingStore:
         if self.write_calls <= self.fail_first:
             raise BackingStoreError(f"injected write failure #{self.write_calls}")
         self.inner.write(item, data)
+
+    def flush(self):
+        self.inner.flush()
 
     def close(self):
         self.inner.close()
@@ -289,6 +295,9 @@ class TestStoreWithWriteBehind:
 
             def write(self, item, data):
                 self.inner.write(item, data)
+
+            def flush(self):
+                self.inner.flush()
 
             def close(self):
                 self.inner.close()

@@ -1,5 +1,7 @@
 """Unit tests for backing stores: memory, single-file, multi-file, simulated."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -113,6 +115,114 @@ class TestFileBacking:
         np.testing.assert_array_equal(out, data)
         s.close()
 
+    def test_reattach_preserves_existing_vectors(self, tmp_path):
+        """Satellite fix: reopening an existing vectors file must NOT
+        truncate it ("w+b" zeroed every spilled CLV on reattach)."""
+        path = tmp_path / "v.bin"
+        s = FileBackingStore(path, 6, SHAPE)
+        data = np.random.default_rng(11).normal(size=SHAPE)
+        s.write(3, data)
+        s.flush()
+        s.close()
+        s2 = FileBackingStore(path, 6, SHAPE)
+        out = np.empty(SHAPE)
+        s2.read(3, out)
+        np.testing.assert_array_equal(out, data)
+        s2.close()
+
+    def test_reattach_extends_smaller_file(self, tmp_path):
+        """Reattaching with a larger geometry preallocates the new tail."""
+        path = tmp_path / "v.bin"
+        FileBackingStore(path, 2, SHAPE).close()
+        s = FileBackingStore(path, 8, SHAPE)
+        assert path.stat().st_size == 8 * s.item_bytes
+        out = np.ones(SHAPE)
+        s.read(7, out)
+        np.testing.assert_array_equal(out, 0.0)
+        s.close()
+
+    def test_eintr_interrupted_transfers_retry(self, tmp_path, monkeypatch):
+        """Satellite fix: EINTR raised mid-transfer is retried, not fatal,
+        on both the read and the write path."""
+        s = FileBackingStore(tmp_path / "v.bin", 2, SHAPE)
+        real_preadv, real_pwritev = os.preadv, os.pwritev
+        interruptions = {"read": 2, "write": 2}
+
+        def flaky_preadv(fd, bufs, offset):
+            if interruptions["read"] > 0:
+                interruptions["read"] -= 1
+                raise InterruptedError(4, "Interrupted system call")
+            return real_preadv(fd, bufs, offset)
+
+        def flaky_pwritev(fd, bufs, offset):
+            if interruptions["write"] > 0:
+                interruptions["write"] -= 1
+                raise InterruptedError(4, "Interrupted system call")
+            return real_pwritev(fd, bufs, offset)
+
+        monkeypatch.setattr(os, "preadv", flaky_preadv)
+        monkeypatch.setattr(os, "pwritev", flaky_pwritev)
+        data = np.random.default_rng(5).normal(size=SHAPE)
+        s.write(1, data)
+        assert interruptions["write"] == 0
+        out = np.empty(SHAPE)
+        s.read(1, out)
+        assert interruptions["read"] == 0
+        np.testing.assert_array_equal(out, data)
+        s.close()
+
+    def test_zero_byte_write_is_retried_not_fatal(self, tmp_path, monkeypatch):
+        """Satellite fix: a legitimately interrupted zero-byte write must
+        not raise (the old os.pwrite loop treated put == 0 as an error)."""
+        s = FileBackingStore(tmp_path / "v.bin", 2, SHAPE)
+        real_pwritev = os.pwritev
+        zero_returns = {"left": 3}
+
+        def stalling_pwritev(fd, bufs, offset):
+            if zero_returns["left"] > 0:
+                zero_returns["left"] -= 1
+                return 0
+            return real_pwritev(fd, bufs, offset)
+
+        monkeypatch.setattr(os, "pwritev", stalling_pwritev)
+        data = np.random.default_rng(6).normal(size=SHAPE)
+        s.write(0, data)
+        assert zero_returns["left"] == 0
+        out = np.empty(SHAPE)
+        s.read(0, out)
+        np.testing.assert_array_equal(out, data)
+        s.close()
+
+    def test_wedged_write_eventually_raises(self, tmp_path, monkeypatch):
+        """An endless run of zero-byte writes means the device is stuck."""
+        s = FileBackingStore(tmp_path / "v.bin", 2, SHAPE)
+        monkeypatch.setattr(os, "pwritev", lambda fd, bufs, offset: 0)
+        with pytest.raises(BackingStoreError, match="no progress"):
+            s.write(0, np.zeros(SHAPE))
+        s.close()
+
+    def test_short_write_resumes_where_it_left_off(self, tmp_path,
+                                                   monkeypatch):
+        """Partial pwritev transfers are continued from the split point."""
+        s = FileBackingStore(tmp_path / "v.bin", 2, SHAPE)
+        real_pwritev = os.pwritev
+        calls = []
+
+        def partial_pwritev(fd, bufs, offset):
+            n = real_pwritev(fd, [bufs[0][:37]], offset)
+            calls.append(n)
+            return n
+
+        monkeypatch.setattr(os, "pwritev", partial_pwritev)
+        data = np.random.default_rng(7).normal(size=SHAPE)
+        s.write(1, data)
+        assert len(calls) > 1                  # genuinely split
+        monkeypatch.setattr(os, "pwritev", real_pwritev)
+        out = np.empty(SHAPE)
+        s.read(1, out)
+        np.testing.assert_array_equal(out, data)
+        s.close()
+
     def test_positioned_io_is_thread_safe(self, tmp_path):
         """pread/pwrite share no seek cursor: concurrent transfers to
         distinct items must never interleave or tear."""
@@ -173,6 +283,23 @@ class TestMultiFileBacking:
             s.write(5, np.zeros(SHAPE))
         s.close()
 
+    def test_flush_and_reattach_across_stripes(self, tmp_path):
+        """Satellite fix: flush() reaches every stripe, and reopening the
+        directory does not truncate any of them."""
+        rng = np.random.default_rng(13)
+        originals = {i: rng.normal(size=SHAPE) for i in range(7)}
+        s = MultiFileBackingStore(tmp_path, 7, SHAPE, num_files=3)
+        for item, data in originals.items():
+            s.write(item, data)
+        s.flush()
+        s.close()
+        s2 = MultiFileBackingStore(tmp_path, 7, SHAPE, num_files=3)
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s2.read(item, out)
+            np.testing.assert_array_equal(out, data)
+        s2.close()
+
 
 class TestSimulatedDisk:
     def test_roundtrip_and_timing(self):
@@ -186,3 +313,15 @@ class TestSimulatedDisk:
     def test_defaults_to_hdd(self):
         s = SimulatedDiskBackingStore(2, SHAPE)
         assert s.disk.name == "hdd"
+
+    def test_flush_is_a_durability_no_op(self):
+        """Satellite fix: SimulatedDisk implements the flush() protocol by
+        delegating to the RAM inner store (no time is charged)."""
+        s = SimulatedDiskBackingStore(2, SHAPE)
+        s.write(0, np.full(SHAPE, 3.0))
+        before = s.simulated_seconds
+        s.flush()
+        assert s.simulated_seconds == before
+        out = np.empty(SHAPE)
+        s.read(0, out)
+        np.testing.assert_array_equal(out, 3.0)

@@ -1,4 +1,4 @@
-"""Tests for checkpoint save/restore."""
+"""Tests for checkpoint save/restore, including crash-safe kill-and-resume."""
 
 import numpy as np
 import pytest
@@ -122,3 +122,181 @@ class TestValidation:
         eng = LikelihoodEngine(tree.copy(), aln, model, rates)
         save_checkpoint(eng, tmp_path / "a.ckpt")
         assert not (tmp_path / "a.ckpt.tmp").exists()
+
+
+class TestStoreConfigurations:
+    def test_block_layout_roundtrip(self, ckpt_dataset, tmp_path):
+        """Checkpoint an engine paging site blocks, resume it the same way."""
+        tree, aln, model, rates = ckpt_dataset
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates,
+                               layout="block", block_sites=32, fraction=0.4,
+                               policy="lru")
+        lnl = eng.loglikelihood()
+        save_checkpoint(eng, tmp_path / "b.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "b.ckpt", aln,
+                                      layout="block", block_sites=32,
+                                      fraction=0.4, policy="lru")
+        assert restored.loglikelihood() == lnl
+
+    def test_block_layout_dirty_store_flushed_on_save(self, ckpt_dataset,
+                                                      tmp_path):
+        """save_checkpoint drains a dirty block store down to its backing
+        (flush + fsync) before publishing the document."""
+        from repro.core.backing import FileBackingStore
+        from repro.core.layout import make_layout
+
+        tree, aln, model, rates = ckpt_dataset
+        probe = LikelihoodEngine(tree.copy(), aln, model, rates)
+        layout = make_layout("block", probe.num_inner, probe.clv_shape,
+                             block_sites=32)
+        del probe
+        backing = FileBackingStore.from_layout(tmp_path / "clv.bin", layout)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates,
+                               layout=layout, fraction=0.4, policy="lru",
+                               backing=backing, track_dirty=True)
+        lnl = eng.loglikelihood()
+        save_checkpoint(eng, tmp_path / "d.ckpt")
+        restored, _ = load_checkpoint(tmp_path / "d.ckpt", aln)
+        assert restored.loglikelihood() == lnl
+
+    def test_shared_store_partitions_roundtrip(self, ckpt_dataset, tmp_path):
+        """Each engine of a shared-store partitioned analysis checkpoints
+        and restores independently (the store flush goes through the
+        SharedStoreView down to the one real store)."""
+        from repro.phylo.likelihood.partitioned import PartitionedEngine
+
+        tree, aln, model, rates = ckpt_dataset
+        rates2 = RateModel.gamma_invariant(0.9, 0.1, 4)  # same category count
+        aln2 = simulate_alignment(tree, model, 180,
+                                  rates=RateModel.gamma(0.9, 4), seed=640)
+        part = PartitionedEngine(
+            tree.copy(),
+            [(aln, model, rates), (aln2, model, rates2)],
+            shared_store={"fraction": 0.5, "policy": "lru",
+                          "block_sites": 32})
+        total = part.loglikelihood()
+        restored_sum = 0.0
+        for k, (eng, part_aln) in enumerate(zip(part.engines, [aln, aln2])):
+            path = tmp_path / f"part{k}.ckpt"
+            save_checkpoint(eng, path, extra={"partition": k})
+            restored, extra = load_checkpoint(path, part_aln, fraction=1.0)
+            assert extra == {"partition": k}
+            restored_sum += restored.loglikelihood()
+        assert restored_sum == pytest.approx(total, abs=1e-9)
+        part.close()
+
+
+@pytest.fixture(scope="module")
+def search_dataset():
+    """Informative data + a wrong starting topology: the search moves."""
+    tree = yule_tree(9, seed=650)
+    model = GTR((1, 2, 1, 1, 2, 1), (0.28, 0.22, 0.26, 0.24))
+    aln = simulate_alignment(tree, model, 400, rates=RateModel.gamma(1.0, 4),
+                             seed=651)
+    start = yule_tree(9, seed=653, names=tree.names)
+    return start, aln, model
+
+
+class TestKillAndResume:
+    """The acceptance criterion: kill a checkpointing search at an injected
+    crash-point, resume from the last checkpoint, and reach a final
+    likelihood bit-identical to the uninterrupted run."""
+
+    SEARCH = {"radius": 3, "max_rounds": 3, "min_improvement": 1e-12,
+              "do_nni": True}
+
+    def engine(self, search_dataset, backing=None):
+        from repro.core.layout import make_layout
+
+        start, aln, model = search_dataset
+        rates = RateModel.gamma(1.0, 4)
+        kwargs = {}
+        if backing is not None:
+            probe = LikelihoodEngine(start.copy(), aln, model, rates)
+            layout = make_layout("whole", probe.num_inner, probe.clv_shape)
+            del probe
+            kwargs = {"layout": layout,
+                      "backing": backing(layout),
+                      "fraction": 0.4, "policy": "lru"}
+        return LikelihoodEngine(start.copy(), aln, model, rates, **kwargs)
+
+    def test_killed_search_resumes_bit_identical(self, search_dataset,
+                                                 tmp_path):
+        from repro.core.backing import MemoryBackingStore
+        from repro.core.faults import FaultInjectingBackingStore, SimulatedCrash
+        from repro.phylo.search import ml_search
+
+        # Uninterrupted reference run (results are store-independent).
+        reference = ml_search(self.engine(search_dataset), **self.SEARCH)
+        assert reference.rounds >= 2  # the crash must land mid-search
+
+        # Budget the crash roughly halfway through the search's writes.
+        counter = self.engine(
+            search_dataset,
+            backing=lambda layout: FaultInjectingBackingStore(
+                MemoryBackingStore.from_layout(layout)))
+        ml_search(counter, **self.SEARCH)
+        total_writes = counter.store.backing.writes_completed
+        assert total_writes > 0
+
+        ckpt = tmp_path / "search.ckpt"
+        crashing = self.engine(
+            search_dataset,
+            backing=lambda layout: FaultInjectingBackingStore(
+                MemoryBackingStore.from_layout(layout),
+                crash_after_writes=total_writes // 2))
+        with pytest.raises(SimulatedCrash):
+            ml_search(crashing, checkpoint_path=ckpt, checkpoint_every=1,
+                      **self.SEARCH)
+        assert ckpt.exists()  # at least one round was checkpointed
+
+        start, aln, model = search_dataset
+        restored, extra = load_checkpoint(ckpt, aln)
+        state = extra["search"]
+        assert 0 < state["rounds"] < reference.rounds  # genuinely partial
+        resumed = ml_search(restored, checkpoint_path=ckpt,
+                            checkpoint_every=1, resume_state=state,
+                            **self.SEARCH)
+
+        assert resumed.lnl == reference.lnl  # bit-identical
+        assert resumed.rounds == reference.rounds
+        assert resumed.moves_applied == reference.moves_applied
+        assert resumed.moves_evaluated == reference.moves_evaluated
+        assert resumed.lnl_history == reference.lnl_history
+
+    def test_resume_of_converged_search_is_a_no_op(self, search_dataset,
+                                                   tmp_path):
+        from repro.phylo.search import ml_search
+
+        ckpt = tmp_path / "done.ckpt"
+        eng = self.engine(search_dataset)
+        done = ml_search(eng, checkpoint_path=ckpt, checkpoint_every=1,
+                         radius=3, max_rounds=8, min_improvement=0.5)
+        start, aln, model = search_dataset
+        restored, extra = load_checkpoint(ckpt, aln)
+        resumed = ml_search(restored, resume_state=extra["search"],
+                            radius=3, max_rounds=8, min_improvement=0.5)
+        assert resumed.lnl == done.lnl
+        assert resumed.rounds == done.rounds
+
+    def test_checkpoint_every_spacing(self, search_dataset, tmp_path):
+        """checkpoint_every=N skips intermediate rounds but always writes
+        the terminal checkpoint."""
+        import json
+
+        from repro.phylo.search import ml_search
+
+        ckpt = tmp_path / "sparse.ckpt"
+        eng = self.engine(search_dataset)
+        result = ml_search(eng, checkpoint_path=ckpt, checkpoint_every=100,
+                           **self.SEARCH)
+        state = json.loads(ckpt.read_text())["extra"]["search"]
+        assert state["rounds"] == result.rounds
+        assert state["converged"] or result.rounds == self.SEARCH["max_rounds"]
+
+    def test_bad_checkpoint_every_rejected(self, search_dataset):
+        from repro.errors import SearchError
+        from repro.phylo.search import ml_search
+
+        with pytest.raises(SearchError, match="checkpoint_every"):
+            ml_search(self.engine(search_dataset), checkpoint_every=0)

@@ -37,6 +37,9 @@ class FlakyBackingStore:
             raise BackingStoreError(f"injected write failure #{self.write_calls}")
         self.inner.write(item, data)
 
+    def flush(self):
+        self.inner.flush()
+
     def close(self):
         self.inner.close()
 
