@@ -48,6 +48,7 @@ from repro.core.layout import (
 from repro.core.policies import make_policy, policy_names
 from repro.core.prefetch import Prefetcher, ThreadedPrefetcher
 from repro.core.shadow import ShadowStore, TeeStore
+from repro.core.sharded import ShardedBackingStore, ShardTicket
 from repro.core.stats import IoStats
 from repro.core.writebehind import WriteBehindQueue
 from repro.core.tiered import TieredVectorStore
@@ -114,6 +115,7 @@ __all__ = [
     "CompressedFileBackingStore", "ZlibCodec", "NullCodec", "make_codec",
     "FaultInjectingBackingStore", "RetryingBackingStore",
     "InjectedFault", "SimulatedCrash",
+    "ShardedBackingStore", "ShardTicket",
     "WriteBehindQueue", "TieredVectorStore",
     "ShadowStore", "TeeStore",
     "AccessTrace", "RecordingStoreProxy", "simulate_policy_on_trace",

@@ -9,8 +9,8 @@ per-workload ``RESULT_METRICS``. Exactly like the event taxonomy
 (EVT001/EVT002), the artifacts must agree:
 
 * **MET001** — every registry call site with a literal metric name
-  (``inc`` / ``counter_set`` / ``gauge_set`` / ``gauge_add`` /
-  ``observe``) must use a declared name. The registry raises on unknown
+  (``inc`` / ``inc_labeled`` / ``counter_set`` / ``gauge_set`` /
+  ``gauge_add`` / ``observe``) must use a declared name. The registry raises on unknown
   names at runtime, but only on paths that actually execute; a typo on
   a rarely-taken branch would otherwise ship.
 * **MET002** — ``METRIC_NAMES`` and the ``METRIC_EXPOSITION`` keys must
@@ -38,7 +38,8 @@ RESULT_METRICS_NAME = "RESULT_METRICS"
 
 #: Registry methods whose first argument is a metric name.
 _REGISTRY_METHODS = frozenset(
-    {"inc", "counter_set", "gauge_set", "gauge_add", "observe"})
+    {"inc", "inc_labeled", "counter_set", "gauge_set", "gauge_add",
+     "observe"})
 
 #: Valid exposition kinds (the registry's three instrument types).
 _KINDS = frozenset({"counter", "gauge", "histogram"})

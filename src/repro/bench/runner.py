@@ -70,7 +70,8 @@ def _geometry(ctx):
 
 def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
                   backing_kind="memory", store=None, batch=None,
-                  kernel_threads=1):
+                  kernel_threads=1, writeback_depth=0, io_threads=1,
+                  shards=None):
     from repro.core.backing import SimulatedDiskBackingStore
     from repro.core.layout import make_layout
     from repro.phylo.likelihood.engine import LikelihoodEngine
@@ -97,12 +98,33 @@ def _build_engine(ctx, *, layout="whole", policy="lru", read_skipping=True,
         ctx.setdefault("tmpdirs", []).append(td)
         backing = CompressedFileBackingStore.from_layout(
             os.path.join(td.name, "vectors.czb"), lay, np.float64)
+    elif backing_kind in ("sharded", "sharded-hdd"):
+        from repro.core.sharded import ShardedBackingStore
+
+        td = tempfile.TemporaryDirectory(prefix="repro-bench-shard-")
+        ctx.setdefault("tmpdirs", []).append(td)
+        n = int(shards) if shards is not None else ctx["shards"]
+        if backing_kind == "sharded":
+            # Real per-shard files: exercises the full wire protocol and
+            # the labelled-metrics aggregation against actual disk I/O.
+            backing = ShardedBackingStore.from_layout(
+                td.name, lay, np.float64, num_shards=n)
+        else:
+            # Sleeping simulated-HDD workers: each shard charges real wall
+            # time for its transfers, so overlapping the write-behind
+            # drain across N worker processes shows up as a measurable
+            # speedup over the same store with one shard.
+            hdd = DiskModel.hdd()
+            backing = ShardedBackingStore.from_layout(
+                td.name, lay, np.float64, num_shards=n, kind="simulated",
+                disk=(hdd.access_latency, hdd.bandwidth), sleep=True)
     policy_kwargs = {"seed": ctx["seed"]} if policy == "random" else None
     return LikelihoodEngine(
         tree.copy(), alignment, model, rates,
         layout=lay, fraction=FRACTION, policy=policy,
         policy_kwargs=policy_kwargs, backing=backing,
         read_skipping=read_skipping,
+        writeback_depth=writeback_depth, io_threads=io_threads,
         batch=batch, kernel_threads=kernel_threads,
     )
 
@@ -131,12 +153,35 @@ def _run_entry(ctx, figure, engine, run, config, *, use_registry=True):
         derived = {"miss_rate": float(stats.miss_rate),
                    "read_rate": float(stats.read_rate)}
         if obs is not None:
-            snap = obs.metrics.snapshot()["counters"]
+            snapshot = obs.metrics.snapshot()
+            snap = snapshot["counters"]
             for key in RESULT_METRICS:
                 if snap.get(key) != counters[key]:
                     raise ReproError(
                         f"metrics registry disagrees with IoStats on "
                         f"{key!r}: {snap.get(key)} vs {counters[key]}")
+            backing = getattr(engine.store, "backing", None)
+            if getattr(backing, "num_shards", 0):
+                # Sharded tier: the per-shard labelled series must
+                # aggregate to the same physical totals the unsharded
+                # registry check would see — summing over labels is the
+                # sharded extension of the IoStats cross-check above.
+                labeled = snapshot["labeled"]
+                expect = {
+                    "backing_reads": stats.physical_reads,
+                    "backing_writes": stats.physical_writes,
+                    "backing_bytes_read":
+                        stats.physical_reads * backing.item_bytes,
+                    "backing_bytes_written":
+                        stats.physical_writes * backing.item_bytes,
+                }
+                for key, want in expect.items():
+                    got = sum(labeled.get(key, {}).values())
+                    if got != want:
+                        raise ReproError(
+                            f"per-shard {key!r} labels sum to {got}, but "
+                            f"IoStats says {want} physical: shard "
+                            "accounting lost operations")
     finally:
         if obs is not None:
             obs.detach(engine)
@@ -218,6 +263,22 @@ def _workloads(ctx):
     yield ("fig5_ooc_compressed", "fig5",
            lambda: _build_engine(ctx, backing_kind="compressed"),
            full, cfg(policy="lru", layout="whole", backing="compressed-zlib"))
+    shards = ctx["shards"]
+    yield ("fig5_ooc_sharded", "fig5",
+           lambda: _build_engine(ctx, backing_kind="sharded",
+                                 writeback_depth=8),
+           full, cfg(policy="lru", layout="whole", backing="sharded-file",
+                     shards=shards, writeback_depth=8))
+    yield ("fig5_ooc_sharded_hdd", "fig5",
+           lambda: _build_engine(ctx, backing_kind="sharded-hdd",
+                                 writeback_depth=8),
+           full, cfg(policy="lru", layout="whole", backing="sharded-hdd",
+                     shards=shards, writeback_depth=8))
+    yield ("fig5_ooc_sharded_hdd1", "fig5",
+           lambda: _build_engine(ctx, backing_kind="sharded-hdd",
+                                 writeback_depth=8, shards=1),
+           full, cfg(policy="lru", layout="whole", backing="sharded-hdd",
+                     shards=1, writeback_depth=8))
     yield ("spr_search_whole", "spr",
            lambda: _build_engine(ctx, policy="lru"),
            search, cfg(policy="lru", layout="whole", radius=radius,
@@ -265,6 +326,7 @@ def run_bench(args) -> int:
         "block_sites": args.block_sites,
         "batch": args.batch,
         "kernel_threads": args.kernel_threads,
+        "shards": args.shards,
     }
     ctx["geometry"] = _geometry(ctx)
     _warm_kernels(ctx)
@@ -300,6 +362,11 @@ def run_bench(args) -> int:
                 rep["compression_ratio"] = float(backing.compression_ratio)
                 rep["backing_bytes_written"] = int(
                     backing.stored_bytes_written)
+            elif name.startswith("fig5_ooc_sharded"):
+                # The workers' clocks (and any simulated-disk seconds)
+                # live in the child processes; report topology instead.
+                rep["shards"] = int(store.backing.num_shards)
+                rep["shard_restarts"] = int(store.backing.restarts())
             elif figure == "fig5":
                 rep["simulated_io_seconds"] = float(
                     store.backing.simulated_seconds)
@@ -375,6 +442,42 @@ def run_bench(args) -> int:
           f"{comp['backing_bytes_written']}/{comp['metrics']['bytes_written']}"
           " physical/logical bytes written (lnL bit-identical)")
 
+    # Sharded-backing gate: routing items across N worker processes (and
+    # draining evictions through the asynchronous write-behind batch path)
+    # must be invisible to the paper's metrics — same likelihood, same
+    # demand/eviction counters as the single-file fig5 workload.  The
+    # demand counters are backing- and writeback-invariant by design, so
+    # the comparison is exact.
+    for sharded_name in ("fig5_ooc_sharded", "fig5_ooc_sharded_hdd",
+                         "fig5_ooc_sharded_hdd1"):
+        shd = workloads[sharded_name]
+        if shd["log_likelihood"] != plain["log_likelihood"]:
+            raise ReproError(
+                f"{sharded_name} lnL {shd['log_likelihood']!r} differs "
+                f"from fig5_ooc_whole {plain['log_likelihood']!r}: sharded "
+                "backing broke CLV round-trip")
+        diff = [k for k in RESULT_METRICS
+                if shd["metrics"][k] != plain["metrics"][k]]
+        if diff:
+            raise ReproError(
+                f"{sharded_name} counters differ from fig5_ooc_whole on "
+                f"{diff}: sharding must be transparent to the store")
+    print(f"{'fig5_ooc_sharded':>24}: lnL + counters bit-identical to "
+          "fig5_ooc_whole across "
+          f"{workloads['fig5_ooc_sharded']['shards']} shards")
+
+    # Shard scaling: the same sleeping simulated-HDD workload with N
+    # worker processes vs one.  The write-behind drain overlaps transfers
+    # across shards, so N shards should beat one; the ratio lands in
+    # ``derived`` so --baseline (and the optional --min-shard-speedup
+    # gate) track it.
+    hdd = workloads["fig5_ooc_sharded_hdd"]
+    one = workloads["fig5_ooc_sharded_hdd1"]
+    shard_speedup = one["wall_seconds"] / max(hdd["wall_seconds"], 1e-9)
+    hdd["derived"]["speedup_vs_one_shard"] = float(shard_speedup)
+    print(f"{'fig5_ooc_sharded_hdd':>24}: {shard_speedup:.2f}x vs one shard "
+          f"({hdd['shards']} sleeping HDD workers)")
+
     for td in ctx.get("tmpdirs", []):
         td.cleanup()
 
@@ -411,6 +514,16 @@ def run_bench(args) -> int:
             return 1
         print(f"batch speedup   : {got:.2f}x "
               f">= {args.min_batch_speedup:.2f}x required")
+
+    if args.min_shard_speedup is not None:
+        got = workloads["fig5_ooc_sharded_hdd"]["derived"][
+            "speedup_vs_one_shard"]
+        if got < args.min_shard_speedup:
+            print(f"REGRESSION: fig5_ooc_sharded_hdd speedup {got:.2f}x < "
+                  f"required {args.min_shard_speedup:.2f}x", file=sys.stderr)
+            return 1
+        print(f"shard speedup   : {got:.2f}x "
+              f">= {args.min_shard_speedup:.2f}x required")
 
     if args.baseline:
         try:
@@ -490,6 +603,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fail unless fig5_ooc_block_batch is at least "
                              "X times faster than fig5_ooc_block (off by "
                              "default; timing gates need a quiet machine)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker processes for the fig5_ooc_sharded* "
+                             "workloads (default 4)")
+    parser.add_argument("--min-shard-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless fig5_ooc_sharded_hdd is at least "
+                             "X times faster than the same workload with "
+                             "one shard (off by default)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N wall time for the traversal "

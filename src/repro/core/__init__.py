@@ -12,8 +12,10 @@ write for the evaluation (§4).
 """
 
 from repro.core.backing import (
+    AsyncBackingStore,
     BackingStore,
     FileBackingStore,
+    IoTicket,
     MemoryBackingStore,
     MultiFileBackingStore,
     SimulatedDiskBackingStore,
@@ -40,7 +42,10 @@ from repro.core.layout import (
     StorageLayout,
     WholeVectorLayout,
     make_layout,
+    shard_items,
+    shard_of,
 )
+from repro.core.sharded import ShardedBackingStore, ShardTicket
 from repro.core.policies import (
     BeladyPolicy,
     FifoPolicy,
@@ -59,6 +64,8 @@ from repro.core.vecstore import AncestralVectorStore
 __all__ = [
     "AncestralVectorStore",
     "BackingStore",
+    "AsyncBackingStore",
+    "IoTicket",
     "StorageLayout",
     "WholeVectorLayout",
     "SiteBlockLayout",
@@ -66,7 +73,11 @@ __all__ = [
     "PartitionLayoutView",
     "SharedStoreView",
     "make_layout",
+    "shard_of",
+    "shard_items",
     "DEFAULT_BLOCK_SITES",
+    "ShardedBackingStore",
+    "ShardTicket",
     "MemoryBackingStore",
     "FileBackingStore",
     "MultiFileBackingStore",

@@ -60,6 +60,39 @@ class BackingStore(Protocol):
     def close(self) -> None: ...
 
 
+class IoTicket(Protocol):
+    """Waitable handle for one asynchronously submitted transfer.
+
+    ``wait`` blocks until the operation completed and re-raises its error,
+    if any; ``done`` polls without blocking.
+    """
+
+    def wait(self) -> None: ...
+
+    @property
+    def done(self) -> bool: ...
+
+
+class AsyncBackingStore(BackingStore, Protocol):
+    """A backing store with split submit/collect hooks.
+
+    ``submit_read``/``submit_write`` issue the transfer and return an
+    :class:`IoTicket` without waiting for completion, letting one caller
+    keep many transfers in flight — across the shard workers of a
+    :class:`~repro.core.sharded.ShardedBackingStore`, that is what turns
+    N processes into N-way I/O parallelism. ``submit_write`` must
+    serialise (or copy) the caller's buffer before returning, so the
+    buffer is immediately reusable — the same contract as the
+    write-behind staging copy. Consumers feature-detect these hooks with
+    ``callable(getattr(backing, "submit_write", None))``; every plain
+    :class:`BackingStore` keeps working unchanged.
+    """
+
+    def submit_read(self, item: int, out: np.ndarray) -> IoTicket: ...
+
+    def submit_write(self, item: int, data: np.ndarray) -> IoTicket: ...
+
+
 class MemoryBackingStore:
     """Backing store held in RAM — zero-latency stand-in for a disk.
 
@@ -352,9 +385,35 @@ class MultiFileBackingStore:
                 mx.observe("backing_write_seconds", dt)
 
     def flush(self) -> None:
-        """Durability barrier: fsync every stripe file."""
-        for fh in self._files:
-            fh.flush()
+        """Durability barrier: fsync every stripe file *concurrently*.
+
+        Each stripe is an independent descriptor, so their fsyncs can
+        overlap — one thread per stripe instead of a sequential sweep
+        whose latency grows linearly with ``num_files``. The call still
+        returns only after every stripe is durable, and the first
+        failure is re-raised.
+        """
+        errors: list[BaseException] = []
+        err_lock = threading.Lock()
+
+        def _sync(fh: FileBackingStore) -> None:
+            try:
+                fh.flush()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with err_lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=_sync, args=(fh,),
+                             name=f"stripe-fsync-{i}", daemon=True)
+            for i, fh in enumerate(self._files)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
 
     def close(self) -> None:
         for fh in self._files:

@@ -133,7 +133,8 @@ class CompressedFileBackingStore:
 
     def __init__(self, path: str | os.PathLike[str], num_items: int,
                  item_shape: tuple[int, ...], dtype: DTypeLike = np.float64,
-                 codec: Codec | None = None) -> None:
+                 codec: Codec | None = None,
+                 compact_threshold: float | None = 0.5) -> None:
         self.path = os.fspath(path)
         self.index_path = self.path + ".idx"
         self.num_items = int(num_items)
@@ -148,8 +149,17 @@ class CompressedFileBackingStore:
         self.stored_bytes = 0   # physical compressed bytes moved
         self.raw_bytes_written = 0     # write-side slice of raw_bytes
         self.stored_bytes_written = 0  # write-side slice of stored_bytes
+        #: heap capacity stranded by grow-rewrites; reclaimed by compact()
+        self.leaked_bytes = 0          # guarded-by: _lock
+        self.compactions = 0           # guarded-by: _lock
+        #: auto-compact in flush() once leaked/cursor exceeds this (None: off)
+        self.compact_threshold = compact_threshold
         self._lock = make_lock("CompressedFileBackingStore")
         self._closed = False
+        #: heap handles retired by compact(); a concurrent reader that
+        #: captured (fd, extent) before the swap still resolves against
+        #: the old inode, so these stay open until close().
+        self._retired: list[object] = []  # guarded-by: _lock
         self.probe: BackingProbe | None = None
         self.metrics: MetricsRegistry | None = None
         reattach = os.path.exists(self.path) and os.path.exists(self.index_path)
@@ -164,10 +174,12 @@ class CompressedFileBackingStore:
     @classmethod
     def from_layout(cls, path: "str | os.PathLike[str]",
                     layout: "StorageLayout", dtype: DTypeLike = np.float64,
-                    codec: Codec | None = None) -> "CompressedFileBackingStore":
+                    codec: Codec | None = None,
+                    compact_threshold: float | None = 0.5,
+                    ) -> "CompressedFileBackingStore":
         """Backing sized for a layout's item space (blocks, not nodes)."""
         return cls(path, layout.num_items, layout.item_shape, dtype,
-                   codec=codec)
+                   codec=codec, compact_threshold=compact_threshold)
 
     # -- sidecar index --------------------------------------------------------
 
@@ -190,8 +202,23 @@ class CompressedFileBackingStore:
         self._extents = [tuple(e) if e is not None else None  # type: ignore[misc]
                          for e in doc["extents"]]
         self._cursor = int(doc["cursor"])
+        self.leaked_bytes = int(doc.get("leaked", 0))  # lockfree-ok: construction-time, no concurrent access yet
+        # A crash mid-compact leaves the index naming the freshly built
+        # heap ("heap": "<base>.compact") while the canonical path still
+        # holds the old one. Finish the interrupted rename here: the
+        # published extents are valid only against the compact heap. If
+        # the compact file is gone, the rename itself already happened
+        # (os.replace is atomic) and the canonical path IS the new heap.
+        heap = str(doc.get("heap") or os.path.basename(self.path))
+        if heap != os.path.basename(self.path):
+            cand = os.path.join(
+                os.path.dirname(os.path.abspath(self.path)), heap)
+            if os.path.exists(cand):
+                os.replace(cand, self.path)
+                _fsync_dir(self.path)
+            self._publish_index()  # republish with the canonical heap name
 
-    def _index_doc(self) -> dict[str, object]:
+    def _index_doc(self, heap: str | None = None) -> dict[str, object]:  # holds: _lock
         return {
             "version": INDEX_VERSION,
             "codec": self.codec.name,
@@ -199,19 +226,25 @@ class CompressedFileBackingStore:
             "item_bytes": self.item_bytes,
             "dtype": self.dtype.name,
             "cursor": self._cursor,
+            "leaked": self.leaked_bytes,
+            "heap": heap if heap is not None else os.path.basename(self.path),
             "extents": [list(e) if e is not None else None
                         for e in self._extents],
         }
 
-    def _publish_index(self) -> None:
-        """Write-to-temp + fsync + atomic rename + directory fsync."""
+    def _publish_index_for(self, heap: str) -> None:
+        """Publish an index whose extents resolve against ``heap``."""
         tmp = self.index_path + ".tmp"
         with open(tmp, "w") as fh:
-            json.dump(self._index_doc(), fh)
+            json.dump(self._index_doc(heap), fh)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.index_path)
         _fsync_dir(self.index_path)
+
+    def _publish_index(self) -> None:
+        """Write-to-temp + fsync + atomic rename + directory fsync."""
+        self._publish_index_for(os.path.basename(self.path))
 
     # -- BackingStore interface ----------------------------------------------
 
@@ -232,7 +265,11 @@ class CompressedFileBackingStore:
         t0 = time.perf_counter() if timed else 0.0
         self._check(item)
         with self._lock:
+            # The fd must be captured together with the extent: compact()
+            # swaps both atomically, and this extent's offsets are only
+            # meaningful against the heap generation it was taken from.
             extent = self._extents[item]
+            fd = self._fd
         if extent is None:
             out.reshape(-1)[:] = 0  # parity with the preallocated-file zeros
             return
@@ -242,7 +279,7 @@ class CompressedFileBackingStore:
         done = 0
         while done < length:
             try:
-                got = os.preadv(self._fd, [view[done:]], offset + done)
+                got = os.preadv(fd, [view[done:]], offset + done)
             except InterruptedError:
                 continue
             if got <= 0:
@@ -287,10 +324,15 @@ class CompressedFileBackingStore:
             if extent is not None and length <= extent[2]:
                 offset, capacity = extent[0], extent[2]
             else:
+                if extent is not None:
+                    # Grow-rewrite: the old extent's reserved capacity is
+                    # stranded in the heap until compact() reclaims it.
+                    self.leaked_bytes += extent[2]
                 capacity = -(-length // _CAPACITY_QUANTUM) * _CAPACITY_QUANTUM
                 offset = self._cursor
                 self._cursor += capacity
             self._extents[item] = (offset, length, capacity)
+            fd = self._fd  # same capture rule as read(): fd + extent together
             self.raw_bytes += self.item_bytes
             self.stored_bytes += length
             self.raw_bytes_written += self.item_bytes
@@ -298,12 +340,13 @@ class CompressedFileBackingStore:
             if mx is not None:
                 mx.inc("compress_bytes_raw", self.item_bytes)
                 mx.inc("compress_bytes_stored", length)
+                mx.gauge_set("compress_heap_leaked_bytes", self.leaked_bytes)
         view = memoryview(payload)
         done = 0
         zeros = 0
         while done < length:
             try:
-                put = os.pwritev(self._fd, [view[done:]], offset + done)
+                put = os.pwritev(fd, [view[done:]], offset + done)
             except InterruptedError:
                 continue
             if put <= 0:
@@ -330,23 +373,122 @@ class CompressedFileBackingStore:
                 return 1.0
             return self.raw_bytes / self.stored_bytes
 
+    @property
+    def leaked_ratio(self) -> float:
+        """Fraction of the heap stranded by grow-rewrites (0 = dense)."""
+        with self._lock:
+            if self._cursor == 0:
+                return 0.0
+            return self.leaked_bytes / self._cursor
+
+    def compact(self) -> None:
+        """Rewrite live extents into a fresh dense heap; reclaim leaks.
+
+        The already-compressed payloads are copied verbatim (no
+        recompression), so reads after a compaction are bit-identical.
+        Crash-safe by ordering: the new heap is built beside the old one
+        and fsynced, the index is atomically republished *pointing at
+        the compact file* (``"heap"`` field), only then is the compact
+        file renamed over the canonical path and the index republished
+        with the canonical name — a crash at any point leaves a
+        consistent (heap, index) pair, and ``_load_index`` finishes an
+        interrupted rename on reattach.
+
+        Concurrency contract: callers must be quiesced with respect to
+        writes (``flush()`` runs it after the write-behind drain
+        barrier). Concurrent readers are safe — they capture
+        ``(fd, extent)`` atomically and the retired heap handle stays
+        open until ``close()``.
+        """
+        if self._closed:
+            raise BackingStoreError("backing store is closed")
+        mx = self.metrics
+        tmp_path = self.path + ".compact"
+        with self._lock:
+            new_fh = open(tmp_path, "w+b", buffering=0)  # noqa: SIM115
+            new_fd = new_fh.fileno()
+            new_extents: list[tuple[int, int, int] | None] = (
+                [None] * self.num_items)
+            cursor = 0
+            for item, extent in enumerate(self._extents):
+                if extent is None:
+                    continue
+                offset, length, _cap = extent
+                payload = bytearray(length)
+                view = memoryview(payload)
+                done = 0
+                while done < length:
+                    try:
+                        got = os.preadv(self._fd, [view[done:]], offset + done)
+                    except InterruptedError:
+                        continue
+                    if got <= 0:
+                        raise BackingStoreError(
+                            f"short read compacting item {item}: "
+                            f"{done}/{length} bytes")
+                    done += got
+                capacity = -(-length // _CAPACITY_QUANTUM) * _CAPACITY_QUANTUM
+                done = 0
+                while done < length:
+                    try:
+                        put = os.pwritev(new_fd, [view[done:]], cursor + done)
+                    except InterruptedError:
+                        continue
+                    if put <= 0:
+                        raise BackingStoreError(
+                            f"short write compacting item {item}: "
+                            f"{done}/{length} bytes")
+                    done += put
+                new_extents[item] = (cursor, length, capacity)
+                cursor += capacity
+            os.fsync(new_fd)
+            # Swap the in-memory generation, then walk the index through
+            # the two-step rename protocol described above.
+            self._extents = new_extents
+            self._cursor = cursor
+            self.leaked_bytes = 0
+            self._retired.append(self._fh)
+            self._fh, self._fd = new_fh, new_fd
+            self._publish_index_for(os.path.basename(tmp_path))
+            os.replace(tmp_path, self.path)
+            _fsync_dir(self.path)
+            self._publish_index()
+            self.compactions += 1
+            if mx is not None:
+                mx.inc("compress_compactions")
+                mx.gauge_set("compress_heap_leaked_bytes", 0)
+
     def flush(self) -> None:
         """Durability barrier: payload fsync, then republish the index.
 
         Ordering matters — an extent must never be published before the
         bytes it points at are on the device, or a crash between the two
-        would leave the index referencing garbage.
+        would leave the index referencing garbage. When the stranded
+        fraction of the heap exceeds :attr:`compact_threshold`, the
+        barrier also runs :meth:`compact` (flush callers have already
+        drained in-flight writes, which is the quiescence compaction
+        needs).
         """
         if self._closed:
             return
         os.fsync(self._fd)
+        threshold = self.compact_threshold
         with self._lock:
-            self._publish_index()
+            need_compact = (threshold is not None and self._cursor > 0
+                            and self.leaked_bytes / self._cursor > threshold)
+            if not need_compact:
+                self._publish_index()
+        if need_compact:
+            self.compact()
 
     def close(self) -> None:
         if not self._closed:
             self.flush()
             self._fh.close()
+            retired = self._retired  # lockfree-ok: close is terminal; flush() above was the last concurrent access
+            for fh in retired:
+                with contextlib.suppress(Exception):
+                    fh.close()  # type: ignore[attr-defined]
             self._closed = True
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net

@@ -124,9 +124,14 @@ class ThreadedPrefetcher:
     deferred until demand progresses (prefetch is best-effort by design).
     """
 
-    def __init__(self, store: AncestralVectorStore, depth: int = 4) -> None:
+    def __init__(self, store: AncestralVectorStore, depth: int = 4,
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise OutOfCoreError(
+                f"need at least one prefetch worker, got {workers}")
         self.store = store
         self.depth = _validated_depth(depth)
+        self.workers = int(workers)
         # All prefetcher bookkeeping is guarded by the *store's* condition
         # variable — the thread already parks on it, and sharing the lock
         # makes feed()/progress checks atomic with the store's maps.
@@ -144,8 +149,19 @@ class ThreadedPrefetcher:
         self._race = race_detector()
         self._race_scope = ("" if self._race is None
                             else self._race.new_scope("ThreadedPrefetcher"))
-        self._thread = make_thread(self._run, daemon=True, name="prefetcher")
-        self._thread.start()
+        # More than one worker only helps when the backing overlaps
+        # operations (a sharded tier, a real disk): racing picks are
+        # benign — the prefetch_load loser returns False and defers.
+        # The single-worker thread keeps the historical "prefetcher"
+        # name (timelines and span filters key on it).
+        self._threads = [
+            make_thread(self._run, daemon=True,
+                        name="prefetcher" if self.workers == 1
+                        else f"prefetcher-{i}")
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
 
     def feed(self, schedule: list[tuple[int, tuple, bool]]) -> None:
         """Install the upcoming access sequence; prefetching starts at once."""
@@ -180,7 +196,8 @@ class ThreadedPrefetcher:
                 rc.write(self._race_scope, "_stop")
             self._stop = True
             store._cond.notify_all()
-        self._thread.join()
+        for t in self._threads:
+            t.join()
 
     close = stop
 

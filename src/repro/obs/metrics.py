@@ -64,6 +64,13 @@ METRIC_NAMES = frozenset({
     "backing_faults",
     "compress_bytes_raw",
     "compress_bytes_stored",
+    "compress_compactions",
+    # -- sharded backing tier (per-shard labelled I/O + restart counter) --
+    "backing_reads",
+    "backing_writes",
+    "backing_bytes_read",
+    "backing_bytes_written",
+    "shard_restarts",
     # -- engine phase counters (seconds are monotone totals) --
     "phase_plan_seconds",
     "phase_plan_calls",
@@ -75,6 +82,7 @@ METRIC_NAMES = frozenset({
     "trace_events_emitted",
     "trace_events_dropped",
     # -- live gauges --
+    "compress_heap_leaked_bytes",
     "slots_total",
     "slots_occupied",
     "slots_dirty",
@@ -117,6 +125,13 @@ METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
                                       "backing"),
     "compress_bytes_stored": ("counter", "Physical bytes through the "
                                          "compressed backing"),
+    "compress_compactions": ("counter", "Heap compactions run by the "
+                                        "compressed backing"),
+    "backing_reads": ("counter", "Physical reads completed, by shard"),
+    "backing_writes": ("counter", "Physical writes completed, by shard"),
+    "backing_bytes_read": ("counter", "Bytes physically read, by shard"),
+    "backing_bytes_written": ("counter", "Bytes physically written, by shard"),
+    "shard_restarts": ("counter", "Dead shard workers detected and restarted"),
     "phase_plan_seconds": ("counter", "Engine time planning traversals"),
     "phase_plan_calls": ("counter", "Engine plan laps"),
     "phase_kernel_seconds": ("counter", "Engine time in likelihood kernels"),
@@ -129,6 +144,9 @@ METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
     "slots_occupied": ("gauge", "Slots currently holding a vector"),
     "slots_dirty": ("gauge", "Occupied slots with unpersisted modifications"),
     "writeback_queue_depth": ("gauge", "Items staged but not yet durable"),
+    "compress_heap_leaked_bytes": ("gauge", "Heap capacity stranded by "
+                                           "grow-rewrites, reclaimable by "
+                                           "compact()"),
     "loads_inflight": ("gauge", "Slot loads (demand or prefetch) in flight"),
     "prefetch_untouched": ("gauge", "Prefetched residents awaiting first use"),
     "backing_read_seconds": ("histogram", "Physical backing-store read latency"),
@@ -137,8 +155,26 @@ METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
     "store_wait_seconds": ("histogram", "Compute-thread wait per store.get"),
 }
 
+#: Counters carrying a label set instead of one scalar series. They are
+#: updated through :meth:`MetricsRegistry.inc_labeled` only; the plain
+#: :meth:`~MetricsRegistry.inc`/:meth:`~MetricsRegistry.counter_set` API
+#: rejects them so an unlabelled zero sample can never shadow the
+#: per-label series. Summing a labelled counter over its labels must
+#: reproduce the unsharded total (the bench cross-check enforces this).
+LABELED_COUNTERS = frozenset({
+    "backing_reads",
+    "backing_writes",
+    "backing_bytes_read",
+    "backing_bytes_written",
+})
+
 #: Prefix prepended to every metric name in the text exposition.
 PROM_PREFIX = "repro_"
+
+
+def _label_key(labels: dict[str, str]) -> str:
+    """Canonical Prometheus label rendering, e.g. ``shard="3"``."""
+    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
 
 
 def _fmt(value: float) -> str:
@@ -165,7 +201,15 @@ class MetricsRegistry:
         self._kinds = {name: kind for name, (kind, _) in
                        METRIC_EXPOSITION.items()}
         self._counters: dict[str, int | float] = {
-            name: 0 for name, kind in self._kinds.items() if kind == "counter"}
+            name: 0 for name, kind in self._kinds.items()
+            if kind == "counter" and name not in LABELED_COUNTERS}
+        # Labelled counter series: name -> {rendered label set -> value}.
+        # Update discipline matches the scalar slots: one writing
+        # component per (name, label) pair (e.g. the shard-s receiver
+        # thread owns every {shard="s"} series), values are GIL-atomic
+        # dict slots.
+        self._labeled: dict[str, dict[str, int | float]] = {
+            name: {} for name in LABELED_COUNTERS}
         self._gauges: dict[str, int | float] = {
             name: 0 for name, kind in self._kinds.items() if kind == "gauge"}
         self._hists: dict[str, LogHistogram] = {
@@ -183,7 +227,7 @@ class MetricsRegistry:
 
     # -- catalogue validation ---------------------------------------------------
 
-    def _check(self, name: str, kind: str) -> None:
+    def _check(self, name: str, kind: str, *, labeled: bool = False) -> None:
         found = self._kinds.get(name)
         if found is None:
             raise OutOfCoreError(
@@ -191,6 +235,10 @@ class MetricsRegistry:
         if found != kind:
             raise OutOfCoreError(
                 f"metric {name!r} is a {found}, not a {kind}")
+        if labeled != (name in LABELED_COUNTERS):
+            want = "inc_labeled" if name in LABELED_COUNTERS else "inc"
+            raise OutOfCoreError(
+                f"metric {name!r} must be updated via {want}()")
 
     # -- update API (single writer per name) ------------------------------------
 
@@ -198,6 +246,14 @@ class MetricsRegistry:
         """Add ``n`` (default 1) to a counter."""
         self._check(name, "counter")
         self._counters[name] += n
+
+    def inc_labeled(self, name: str, labels: dict[str, str],
+                    n: int | float = 1) -> None:
+        """Add ``n`` to one label set of a labelled counter."""
+        self._check(name, "counter", labeled=True)
+        series = self._labeled[name]
+        key = _label_key(labels)
+        series[key] = series.get(key, 0) + n
 
     def counter_set(self, name: str, value: int | float) -> None:
         """Set a counter to an absolute value (collector use: the caller
@@ -258,6 +314,8 @@ class MetricsRegistry:
         self.collect()
         kind = self._kinds.get(name)
         if kind == "counter":
+            if name in LABELED_COUNTERS:
+                return sum(self._labeled[name].values())
             return self._counters[name]
         if kind == "gauge":
             return self._gauges[name]
@@ -267,14 +325,31 @@ class MetricsRegistry:
         raise OutOfCoreError(
             f"unknown metric {name!r}: not in the METRIC_NAMES catalogue")
 
+    def labeled(self, name: str) -> dict[str, int | float]:
+        """All label sets of a labelled counter: ``{'shard="0"': value}``."""
+        self._check(name, "counter", labeled=True)
+        return dict(self._labeled[name])
+
+    def labeled_sum(self, name: str) -> int | float:
+        """Sum of a labelled counter over every label set.
+
+        This is the aggregation the bench cross-check compares against
+        the store-level ``IoStats`` physical totals: the per-shard
+        decomposition must account for exactly the unsharded traffic.
+        """
+        self._check(name, "counter", labeled=True)
+        return sum(self._labeled[name].values())
+
     def snapshot(self) -> dict[str, Any]:
-        """Collect, then return ``{"counters", "gauges", "histograms"}``."""
+        """Collect, then return counters/gauges/histograms/labeled maps."""
         self.collect()
         return {
             "counters": {k: self._counters[k] for k in sorted(self._counters)},
             "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
             "histograms": {k: self._hists[k].to_dict()
                            for k in sorted(self._hists)},
+            "labeled": {k: dict(sorted(self._labeled[k].items()))
+                        for k in sorted(self._labeled)},
         }
 
     def to_prometheus(self) -> str:
@@ -286,7 +361,11 @@ class MetricsRegistry:
             full = PROM_PREFIX + name
             lines.append(f"# HELP {full} {help_text}")
             lines.append(f"# TYPE {full} {kind}")
-            if kind == "counter":
+            if kind == "counter" and name in LABELED_COUNTERS:
+                for key in sorted(self._labeled[name]):
+                    lines.append(
+                        f"{full}{{{key}}} {_fmt(self._labeled[name][key])}")
+            elif kind == "counter":
                 lines.append(f"{full} {_fmt(self._counters[name])}")
             elif kind == "gauge":
                 lines.append(f"{full} {_fmt(self._gauges[name])}")

@@ -81,7 +81,7 @@ def _dataset(args):
     return alignment, tree
 
 
-def _make_backing(kind: str, layout, dtype, workdir: str):
+def _make_backing(kind: str, layout, dtype, workdir: str, shards: int = 4):
     """Backing store sized for the layout's item space (blocks, not nodes)."""
     if kind == "memory":
         return None  # the store builds its own MemoryBackingStore
@@ -96,6 +96,11 @@ def _make_backing(kind: str, layout, dtype, workdir: str):
         from repro.core.compress import CompressedFileBackingStore
         return CompressedFileBackingStore.from_layout(
             os.path.join(workdir, "vectors.czb"), layout, dtype)
+    if kind == "sharded":
+        from repro.core.sharded import ShardedBackingStore
+        return ShardedBackingStore.from_layout(
+            os.path.join(workdir, "shards"), layout, dtype,
+            num_shards=shards)
     raise ReproError(f"unknown backing store kind {kind!r}")
 
 
@@ -108,7 +113,8 @@ def _build_engine(alignment, tree, args, workdir: str) -> LikelihoodEngine:
     layout = make_layout(
         args.layout, probe.num_inner, probe.clv_shape,
         block_sites=args.block_sites if args.layout == "block" else None)
-    backing = _make_backing(args.backing, layout, probe.dtype, workdir)
+    backing = _make_backing(args.backing, layout, probe.dtype, workdir,
+                            shards=getattr(args, "shards", 4))
     if backing is not None and getattr(args, "backing_retries", 0) > 0:
         from repro.core.faults import RetryingBackingStore
         backing = RetryingBackingStore(backing, retries=args.backing_retries)
@@ -156,6 +162,7 @@ def _config_block(args, engine: LikelihoodEngine) -> dict:
         "dtype": str(np.dtype(args.dtype)),
         "policy": args.policy,
         "backing": args.backing,
+        "shards": args.shards if args.backing == "sharded" else None,
         "writeback_depth": args.writeback_depth,
         "io_threads": args.io_threads,
         "prefetch_depth": args.prefetch_depth,
@@ -339,8 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["random", "lru", "lfu", "fifo", "clock",
                                  "topological"])
     parser.add_argument("--backing", default="memory",
-                        choices=["memory", "file", "simulated", "compressed"],
-                        help="backing store for evicted vectors")
+                        choices=["memory", "file", "simulated", "compressed",
+                                 "sharded"],
+                        help="backing store for evicted vectors (sharded: "
+                             "items hash-routed across worker processes)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker processes for --backing sharded "
+                             "(default: 4)")
     parser.add_argument("--backing-retries", type=int, default=0,
                         help="wrap the backing in a RetryingBackingStore "
                              "with this retry budget (0 = no wrapper)")

@@ -1,6 +1,7 @@
 """Unit tests for backing stores: memory, single-file, multi-file, simulated."""
 
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -281,6 +282,41 @@ class TestMultiFileBacking:
         s = MultiFileBackingStore(tmp_path, 5, SHAPE, num_files=2)
         with pytest.raises(BackingStoreError, match="out of range"):
             s.write(5, np.zeros(SHAPE))
+        s.close()
+
+    def test_flush_fsyncs_stripes_concurrently(self, tmp_path, monkeypatch):
+        """Satellite: one fsync thread per stripe, all stripes covered."""
+        import repro.core.backing as backing_mod
+
+        s = MultiFileBackingStore(tmp_path, 9, SHAPE, num_files=3)
+        for item in range(9):
+            s.write(item, np.zeros(SHAPE))
+        synced = []
+        lock = threading.Lock()
+        real_fsync = backing_mod.os.fsync
+
+        def spy(fd):
+            with lock:
+                synced.append(threading.current_thread().name)
+            real_fsync(fd)
+
+        monkeypatch.setattr(backing_mod.os, "fsync", spy)
+        s.flush()
+        assert sorted(synced) == [f"stripe-fsync-{i}" for i in range(3)]
+        s.close()
+
+    def test_flush_propagates_first_stripe_error(self, tmp_path, monkeypatch):
+        import repro.core.backing as backing_mod
+
+        s = MultiFileBackingStore(tmp_path, 6, SHAPE, num_files=3)
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(backing_mod.os, "fsync", boom)
+        with pytest.raises(OSError, match="disk gone"):
+            s.flush()
+        monkeypatch.undo()
         s.close()
 
     def test_flush_and_reattach_across_stripes(self, tmp_path):

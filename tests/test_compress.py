@@ -1,6 +1,7 @@
 """Compressed backing tier: codecs, framing, reattach, bit-exact CLVs."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -234,3 +235,171 @@ class TestEngineOnCompressedBacking:
         assert eng.loglikelihood() == expected    # bit-identical
         assert backing.stored_bytes_written < backing.raw_bytes_written
         assert backing.compression_ratio > 1.0
+
+
+def _fragment(store, n, seed=31):
+    """Rewrite every item with progressively less compressible data so
+    grown records relocate and leak their old extents."""
+    rng = np.random.default_rng(seed)
+    originals = {}
+    for item in range(n):
+        store.write(item, np.zeros(SHAPE))          # tiny compressed record
+    for item in range(n):
+        data = rng.normal(size=SHAPE)               # incompressible: grows
+        store.write(item, data)
+        originals[item] = data
+    return originals
+
+
+class TestHeapCompactor:
+    def test_compact_reclaims_leaked_bytes_bit_exact(self, tmp_path):
+        s = CompressedFileBackingStore(tmp_path / "v.czb", 8, SHAPE,
+                                       compact_threshold=None)
+        originals = _fragment(s, 8)
+        assert s.leaked_bytes > 0
+        before = s._cursor
+        s.compact()
+        assert s.leaked_bytes == 0
+        assert s.compactions == 1
+        assert s._cursor < before               # heap actually shrank
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s.read(item, out)
+            np.testing.assert_array_equal(out, data)   # bit-exact
+        s.close()
+
+    def test_compacted_store_reattaches(self, tmp_path):
+        s = CompressedFileBackingStore(tmp_path / "v.czb", 6, SHAPE,
+                                       compact_threshold=None)
+        originals = _fragment(s, 6)
+        s.compact()
+        s.flush()
+        s.close()
+        s2 = CompressedFileBackingStore(tmp_path / "v.czb", 6, SHAPE)
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s2.read(item, out)
+            np.testing.assert_array_equal(out, data)
+        assert s2.leaked_bytes == 0
+        s2.close()
+
+    def test_flush_triggers_compaction_over_threshold(self, tmp_path):
+        s = CompressedFileBackingStore(tmp_path / "v.czb", 8, SHAPE,
+                                       compact_threshold=0.05)
+        originals = _fragment(s, 8)
+        assert s.leaked_ratio > 0.05
+        s.flush()
+        assert s.compactions == 1
+        assert s.leaked_bytes == 0
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s.read(item, out)
+            np.testing.assert_array_equal(out, data)
+        s.close()
+
+    def test_threshold_none_disables_auto_compaction(self, tmp_path):
+        s = CompressedFileBackingStore(tmp_path / "v.czb", 8, SHAPE,
+                                       compact_threshold=None)
+        _fragment(s, 8)
+        leaked = s.leaked_bytes
+        s.flush()
+        assert s.compactions == 0
+        assert s.leaked_bytes == leaked
+        s.close()
+
+    def test_metrics_track_leak_and_compaction(self, tmp_path):
+        mx = MetricsRegistry()
+        s = CompressedFileBackingStore(tmp_path / "v.czb", 8, SHAPE,
+                                       compact_threshold=None)
+        s.metrics = mx
+        _fragment(s, 8)
+        assert mx.value("compress_heap_leaked_bytes") == s.leaked_bytes > 0
+        s.compact()
+        assert mx.value("compress_compactions") == 1
+        assert mx.value("compress_heap_leaked_bytes") == 0
+        s.close()
+
+    def test_crash_before_rename_is_finished_on_open(self, tmp_path):
+        import shutil
+
+        path = tmp_path / "v.czb"
+        s = CompressedFileBackingStore(path, 6, SHAPE,
+                                       compact_threshold=None)
+        originals = _fragment(s, 6)
+        s.compact()
+        s.flush()
+        s.close()
+        # Simulate dying between publishing the compact-heap index and
+        # os.replace: the index names "<base>.compact" and that file
+        # exists; the canonical heap is stale garbage.
+        compact = str(path) + ".compact"
+        shutil.copy(path, compact)
+        with open(path, "r+b") as fh:
+            fh.write(b"\xff" * 64)  # scribble on the canonical heap
+        doc = json.loads((tmp_path / "v.czb.idx").read_text())
+        doc["heap"] = "v.czb.compact"
+        (tmp_path / "v.czb.idx").write_text(json.dumps(doc))
+
+        s2 = CompressedFileBackingStore(path, 6, SHAPE)
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s2.read(item, out)
+            np.testing.assert_array_equal(out, data)
+        assert not os.path.exists(compact)  # rename was finished
+        # The index was republished with the canonical heap name.
+        doc = json.loads((tmp_path / "v.czb.idx").read_text())
+        assert doc["heap"] == "v.czb"
+        s2.close()
+
+    def test_crash_after_rename_uses_canonical_heap(self, tmp_path):
+        path = tmp_path / "v.czb"
+        s = CompressedFileBackingStore(path, 6, SHAPE,
+                                       compact_threshold=None)
+        originals = _fragment(s, 6)
+        s.compact()
+        s.flush()
+        s.close()
+        # Simulate dying between os.replace and the final republish: the
+        # index still names the compact heap but that file is gone — the
+        # canonical path already IS the new heap.
+        doc = json.loads((tmp_path / "v.czb.idx").read_text())
+        doc["heap"] = "v.czb.compact"
+        (tmp_path / "v.czb.idx").write_text(json.dumps(doc))
+
+        s2 = CompressedFileBackingStore(path, 6, SHAPE)
+        out = np.empty(SHAPE)
+        for item, data in originals.items():
+            s2.read(item, out)
+            np.testing.assert_array_equal(out, data)
+        s2.close()
+
+
+class TestEngineOnCompactingBacking:
+    def test_lnl_bit_identical_with_aggressive_compaction(self, tmp_path):
+        """Satellite regression: CLVs bit-identical before/after compaction."""
+        from repro.core.layout import make_layout
+
+        tree = yule_tree(10, seed=701)
+        model = GTR((1, 2.1, 0.8, 1.1, 2.7, 1), (0.28, 0.22, 0.26, 0.24))
+        rates = RateModel.gamma(0.6, 4)
+        aln = simulate_alignment(tree, model, 200, rates=rates, seed=702)
+
+        ref = LikelihoodEngine(tree.copy(), aln, model, rates,
+                               fraction=0.3, policy="lru")
+        expected = ref.full_traversals(2)
+
+        probe = LikelihoodEngine(tree.copy(), aln, model, rates)
+        layout = make_layout("whole", probe.num_inner, probe.clv_shape)
+        del probe
+        backing = CompressedFileBackingStore.from_layout(
+            tmp_path / "clv.czb", layout, compact_threshold=1e-9)
+        eng = LikelihoodEngine(tree.copy(), aln, model, rates,
+                               layout=layout, fraction=0.3, policy="lru",
+                               backing=backing)
+        # Compact the live heap between traversals: every CLV the second
+        # pass demand-reads went through the extent relocation.
+        eng.full_traversals(1)
+        eng.store.flush(force=True)
+        backing.compact()
+        assert backing.compactions >= 1
+        assert eng.full_traversals(1) == expected    # bit-identical

@@ -126,6 +126,46 @@ class TestMetricsRegistry:
         assert counts == sorted(counts)
 
 
+class TestLabeledCounters:
+    def test_inc_and_sum_over_labels(self):
+        mx = MetricsRegistry()
+        mx.inc_labeled("backing_reads", {"shard": "0"})
+        mx.inc_labeled("backing_reads", {"shard": "0"})
+        mx.inc_labeled("backing_reads", {"shard": "3"}, 5)
+        assert mx.labeled("backing_reads") == {'shard="0"': 2, 'shard="3"': 5}
+        assert mx.labeled_sum("backing_reads") == 7
+        # value() on a labelled counter is the sum over its label sets.
+        assert mx.value("backing_reads") == 7
+
+    def test_plain_inc_on_labeled_name_rejected(self):
+        mx = MetricsRegistry()
+        with pytest.raises(OutOfCoreError, match="inc_labeled"):
+            mx.inc("backing_reads")
+        with pytest.raises(OutOfCoreError, match="inc\\(\\)"):
+            mx.inc_labeled("requests", {"shard": "0"})
+
+    def test_unknown_name_rejected(self):
+        mx = MetricsRegistry()
+        with pytest.raises(OutOfCoreError):
+            mx.inc_labeled("no_such_metric", {"shard": "0"})
+
+    def test_snapshot_has_labeled_section(self):
+        mx = MetricsRegistry()
+        mx.inc_labeled("backing_writes", {"shard": "1"}, 3)
+        snap = mx.snapshot()
+        assert snap["labeled"]["backing_writes"] == {'shard="1"': 3}
+        # Labelled counters never appear in the plain counters block.
+        assert "backing_writes" not in snap["counters"]
+
+    def test_prometheus_renders_label_sets(self):
+        mx = MetricsRegistry()
+        mx.inc_labeled("backing_bytes_written", {"shard": "0"}, 1024)
+        mx.inc_labeled("backing_bytes_written", {"shard": "2"}, 512)
+        samples = parse_prometheus(mx.to_prometheus())
+        assert samples['repro_backing_bytes_written{shard="0"}'] == 1024
+        assert samples['repro_backing_bytes_written{shard="2"}'] == 512
+
+
 class TestStoreIntegration:
     def test_snapshot_mirrors_iostats(self, engine_factory):
         engine = engine_factory(fraction=0.3, writeback_depth=2)
