@@ -13,7 +13,10 @@ Observer whose ring buffer is deliberately tiny (constant overflow), to
 show the drop path costs nothing extra.
 """
 
+import tempfile
 import time
+
+import numpy as np
 
 from benchmarks.conftest import report
 from repro import AncestralVectorStore
@@ -21,6 +24,7 @@ from repro.obs import Observer
 
 SLOT_FRACTION = 0.25
 TRAVERSALS = 3
+SHARDS = 2
 
 
 def _timed_run(ds, observer=None):
@@ -121,3 +125,77 @@ def test_full_telemetry_overhead_both_layouts(benchmark, ds1288):
             f"full telemetry overhead {overhead:.2f}x exceeds 3x "
             f"on the {layout} layout")
     report("bench_obs_overhead_full", lines)
+
+
+def _timed_sharded_run(ds, lay, observer=None):
+    """One traversal workload over a 2-shard backing tier in a temp dir."""
+    from repro.core.sharded import ShardedBackingStore
+
+    with tempfile.TemporaryDirectory(prefix="bench-obs-shard-") as td:
+        backing = ShardedBackingStore.from_layout(td, lay, np.float64,
+                                                  num_shards=SHARDS)
+        engine = ds.engine(layout=lay, fraction=SLOT_FRACTION, policy="lru",
+                           backing=backing, writeback_depth=4)
+        if observer is not None:
+            observer.attach(engine)
+        t0 = time.perf_counter()
+        engine.full_traversals(TRAVERSALS)
+        engine.store.drain()
+        wall = time.perf_counter() - t0
+        stats = engine.store.stats
+        counters = stats._counters()
+        physical = (stats.physical_reads, stats.physical_writes)
+        worker = None
+        if observer is not None:
+            backing.collect_telemetry()
+            worker = (backing.worker_probe.read_hist.count,
+                      backing.worker_probe.write_hist.count)
+        engine.close()
+    return wall, counters, physical, worker
+
+
+def test_sharded_full_telemetry_overhead(benchmark, ds1288):
+    """Cross-process telemetry over the sharded tier stays bounded.
+
+    Arming the worker-side probes, wire histograms and span shipping
+    (OP_TELEMETRY pulls plus the 16 extra trace-context header bytes per
+    frame) must keep the same 3x bound as in-process telemetry, leave
+    the demand counters bit-identical to the untraced sharded run, and
+    the workers' own histograms must count exactly the parent's physical
+    ops — nothing lost or double-counted across the wire.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.core.layout import make_layout
+
+    probe = ds1288.engine()
+    lay = make_layout("whole", probe.num_inner, probe.clv_shape)
+    probe.close()
+
+    bare_wall, bare_counters, bare_phys, _ = _timed_sharded_run(ds1288, lay)
+    obs = Observer(capacity=1 << 18, metrics=True, spans=True)
+    full_wall, full_counters, full_phys, worker = _timed_sharded_run(
+        ds1288, lay, observer=obs)
+
+    # passivity: arming the workers never changes what the store did
+    # (demand/eviction counters only — writeback_stalls and friends are
+    # queue-timing noise under an async drain, traced or not)
+    from repro.core.stats import DEMAND_COUNTERS, EVICTION_COUNTERS
+    for key in sorted(DEMAND_COUNTERS | EVICTION_COUNTERS):
+        assert full_counters[key] == bare_counters[key], key
+    assert full_phys == bare_phys
+    # cross-process agreement: worker histogram counts == IoStats totals
+    assert worker == full_phys, (
+        f"worker-side histogram counts {worker} disagree with parent "
+        f"IoStats physical totals {full_phys}")
+    assert obs.spans.emitted > 0
+
+    overhead = full_wall / bare_wall
+    report("bench_obs_overhead_sharded", [
+        f"{TRAVERSALS} full traversals, f={SLOT_FRACTION}, lru, "
+        f"{SHARDS}-shard backing, writeback depth 4",
+        f"{'bare sharded':>24} | {bare_wall:8.3f}s |   1.00x",
+        f"{'full telemetry':>24} | {full_wall:8.3f}s | {overhead:6.2f}x",
+        f"worker ops (r, w): {worker} == parent physical {full_phys}",
+    ])
+    assert overhead < 3.0, (
+        f"sharded full-telemetry overhead {overhead:.2f}x exceeds 3x")

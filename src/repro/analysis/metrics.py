@@ -10,9 +10,10 @@ per-workload ``RESULT_METRICS``. Exactly like the event taxonomy
 
 * **MET001** — every registry call site with a literal metric name
   (``inc`` / ``inc_labeled`` / ``counter_set`` / ``gauge_set`` /
-  ``gauge_add`` / ``observe``) must use a declared name. The registry raises on unknown
-  names at runtime, but only on paths that actually execute; a typo on
-  a rarely-taken branch would otherwise ship.
+  ``gauge_set_labeled`` / ``gauge_add`` / ``observe`` /
+  ``merge_histogram``) must use a declared name. The registry raises on
+  unknown names at runtime, but only on paths that actually execute; a
+  typo on a rarely-taken branch would otherwise ship.
 * **MET002** — ``METRIC_NAMES`` and the ``METRIC_EXPOSITION`` keys must
   be the same set, every exposition kind must be one of
   ``counter``/``gauge``/``histogram``, every name must be a valid
@@ -38,8 +39,8 @@ RESULT_METRICS_NAME = "RESULT_METRICS"
 
 #: Registry methods whose first argument is a metric name.
 _REGISTRY_METHODS = frozenset(
-    {"inc", "inc_labeled", "counter_set", "gauge_set", "gauge_add",
-     "observe"})
+    {"inc", "inc_labeled", "counter_set", "gauge_set", "gauge_set_labeled",
+     "gauge_add", "observe", "merge_histogram"})
 
 #: Valid exposition kinds (the registry's three instrument types).
 _KINDS = frozenset({"counter", "gauge", "histogram"})

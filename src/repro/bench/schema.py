@@ -52,6 +52,10 @@ _REQUIRED_TOP = ("schema", "quick", "config", "workloads")
 _ENTRY_KEYS = ("figure", "config", "wall_seconds", "log_likelihood",
                "metrics", "derived")
 
+#: Required keys of each per-op latency summary (an optional per-workload
+#: ``latency`` block recorded from the instrumented repeat's probe).
+_LATENCY_KEYS = ("count", "p50", "p95")
+
 assert set(RESULT_METRICS) <= METRIC_NAMES, \
     "RESULT_METRICS must use catalogue names (analysis rule MET002)"
 
@@ -126,6 +130,28 @@ def validate_results(doc: Any) -> list[str]:
                 entry["simulated_io_seconds"], (int, float)):
             problems.append(
                 f"workload {name!r} simulated_io_seconds must be numeric")
+
+        latency = entry.get("latency")
+        if latency is not None:
+            if not isinstance(latency, dict):
+                problems.append(f"workload {name!r} latency must be an object")
+            else:
+                for op in ("read", "write"):
+                    summary = latency.get(op)
+                    if not isinstance(summary, dict):
+                        problems.append(
+                            f"workload {name!r} latency.{op} must be an "
+                            "object")
+                        continue
+                    if not isinstance(summary.get("count"), int):
+                        problems.append(
+                            f"workload {name!r} latency.{op} missing "
+                            "integer 'count'")
+                    for key in _LATENCY_KEYS[1:]:
+                        if not isinstance(summary.get(key), (int, float)):
+                            problems.append(
+                                f"workload {name!r} latency.{op} missing "
+                                f"numeric {key!r}")
     return problems
 
 

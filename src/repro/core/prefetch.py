@@ -31,6 +31,7 @@ from repro.analysis.race import make_thread, race_detector
 from repro.core.backing import SimulatedDiskBackingStore
 from repro.core.vecstore import AncestralVectorStore
 from repro.errors import OutOfCoreError
+from repro.obs.spans import next_span_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.spans import SpanRecorder
@@ -236,6 +237,10 @@ class ThreadedPrefetcher:
     def _run(self) -> None:  # thread: prefetch
         store = self.store
         rc = self._race
+        # Trace-context injection (see WriteBehindQueue._writer_loop_async):
+        # each prefetch load gets a span id the sharded backing threads
+        # through its wire header to the worker-side disk span.
+        scope = getattr(store.backing, "trace_scope", None)
         while True:
             with store._cond:
                 while True:
@@ -252,10 +257,15 @@ class ThreadedPrefetcher:
             item, horizon = target
             sp = self.spans
             t0 = time.perf_counter() if sp is not None else 0.0
-            loaded = store.prefetch_load(item, protect=horizon)
+            sid = next_span_id() if sp is not None and scope is not None else 0
+            if sid:
+                with scope(sid):
+                    loaded = store.prefetch_load(item, protect=horizon)
+            else:
+                loaded = store.prefetch_load(item, protect=horizon)
             if sp is not None:
                 sp.complete("prefetch_load", t0, time.perf_counter() - t0,
-                            {"item": item, "loaded": loaded})
+                            {"item": item, "loaded": loaded}, span_id=sid)
             if not loaded:
                 tr = store._tracer
                 if tr is not None:

@@ -22,15 +22,35 @@ This module splits the item space across ``N`` *shard worker processes*:
   write-behind queue and the prefetcher keep all shards busy
   concurrently instead of serialising through one store lock.
 
-Wire protocol (one frame = 17-byte header + optional payload)::
+Wire protocol (one frame = 33-byte header + optional payload)::
 
     header  = <u32 req_id> <u8 opcode> <u64 item> <u32 payload_len>
-    opcodes = ATTACH (payload: json shard spec — build/reattach the store)
+              <u64 trace_id> <f64 t_send>
+    opcodes = ATTACH (payload: json shard spec — build/reattach the store;
+              the OK reply carries {t_recv, t_reply} worker-clock samples
+              for NTP-style clock-offset calibration)
               READ   (reply DATA carries the raw item bytes)
               WRITE  (payload: raw item bytes; reply OK)
               FLUSH  (per-shard durability barrier; reply OK)
               CLOSE  (close the store and exit; reply OK)
+              TELEMETRY (non-empty payload {"arm", "shard",
+              "clock_offset"}: arm/disarm worker-side recording, OK
+              reply carries {t_recv, t_reply} for a quiescent
+              recalibration of the clock offset; empty payload: the
+              DATA reply carries the worker's telemetry delta — probe
+              histograms, wire-wait histograms, spans — since the
+              previous pull)
     replies = OK / DATA / ERR (payload: json {type, message})
+
+``trace_id`` and ``t_send`` are the request-scoped trace context: the
+client stamps every frame with the span id allocated for the request
+and its submission timestamp, so an *armed* worker attributes its disk
+time to the exact client-side span that caused it (the parent merges
+worker spans back as per-process tracks with Chrome flow links) and
+measures the queue+wire leg against the client clock, corrected by the
+calibrated offset. Unarmed workers never read either field
+and record nothing — untraced runs pay only the 16 extra header bytes
+per frame (pay-for-play, like every other observability hook).
 
 Requests are matched to replies by ``req_id``, so a client may keep up
 to ``window`` operations in flight per shard (bounded-window
@@ -70,8 +90,9 @@ import os
 import signal
 import socket
 import struct
+import threading
 import time
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 from numpy.typing import DTypeLike
@@ -85,24 +106,35 @@ from repro.core.compress import CompressedFileBackingStore, make_codec
 from repro.core.faults import FaultInjectingBackingStore, InjectedFault
 from repro.core.layout import shard_items
 from repro.errors import BackingStoreError
+# The obs primitives are deliberately core-free (see their module
+# docstrings), so importing them here cannot cycle.
+from repro.obs.histogram import BackingProbe, LogHistogram
+from repro.obs.spans import SpanRecord, next_span_id
 from repro.vm.disk import DiskModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.layout import StorageLayout
-    from repro.obs.histogram import BackingProbe
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
 
-#: Frame header: req_id (u32), opcode (u8), item (u64), payload length (u32).
-_HEADER = struct.Struct("<IBQI")
+#: Frame header: req_id (u32), opcode (u8), item (u64), payload length
+#: (u32), trace span id (u64), client-clock send timestamp (f64).
+_HEADER = struct.Struct("<IBQIQd")
 
 OP_ATTACH = 1
 OP_READ = 2
 OP_WRITE = 3
 OP_FLUSH = 4
 OP_CLOSE = 5
+OP_TELEMETRY = 6
 OP_OK = 0x80
 OP_DATA = 0x81
 OP_ERR = 0x82
+
+#: Cap on buffered worker-side spans between OP_TELEMETRY pulls: bounds
+#: the reply frame; overflow increments ``spans_dropped`` (honest
+#: accounting, like the tracer ring).
+_WORKER_SPAN_CAP = 8192
 
 #: Worker-store kinds a shard spec may name.
 WORKER_KINDS = ("file", "compressed", "simulated")
@@ -146,8 +178,10 @@ def _sendmsg_all(sock: socket.socket, buffers: list[bytes]) -> None:
                 sent = 0
 
 
-def _frame(req: int, op: int, item: int, payload: bytes) -> list[bytes]:
-    return [_HEADER.pack(req, op, item, len(payload)), payload]
+def _frame(req: int, op: int, item: int, payload: bytes,
+           trace: int = 0, t_send: float = 0.0) -> list[bytes]:
+    return [_HEADER.pack(req, op, item, len(payload), trace, t_send),
+            payload]
 
 
 def _err_payload(exc: BaseException) -> bytes:
@@ -207,6 +241,48 @@ def _build_worker_store(spec: dict[str, Any]) -> Any:
     return inner
 
 
+class _WorkerTelemetry:
+    """Worker-process-side probe + span state (exists only while armed).
+
+    Lives entirely inside the forked child, so no locking: the worker
+    services its stream on one thread. Span ids are allocated from a
+    shard-salted range disjoint from the parent's
+    :func:`repro.obs.spans.next_span_id` values, so merged timelines
+    never alias.
+    """
+
+    def __init__(self, shard: int, clock_offset: float) -> None:
+        self.probe = BackingProbe()
+        self.wire_read = LogHistogram()
+        self.wire_write = LogHistogram()
+        self.spans: list[list[Any]] = []
+        self.spans_dropped = 0
+        self.clock_offset = float(clock_offset)
+        self._next_span = ((int(shard) + 1) << 40) + 1
+
+    def span(self, name: str, start: float, dur: float, parent: int,
+             item: int) -> None:
+        if len(self.spans) >= _WORKER_SPAN_CAP:
+            self.spans_dropped += 1
+            return
+        sid = self._next_span
+        self._next_span += 1
+        self.spans.append([name, start, dur, sid, parent, int(item)])
+
+    def drain(self) -> bytes:
+        """The telemetry delta since the previous drain, as a JSON frame."""
+        doc = {
+            "probe": self.probe.drain_state(),
+            "wire_read": self.wire_read.drain_state(),
+            "wire_write": self.wire_write.drain_state(),
+            "spans": self.spans,
+            "spans_dropped": self.spans_dropped,
+        }
+        self.spans = []
+        self.spans_dropped = 0
+        return json.dumps(doc).encode()
+
+
 def _shard_worker_main(conn: socket.socket) -> None:
     """Serve one shard's request stream until CLOSE or parent EOF.
 
@@ -215,9 +291,16 @@ def _shard_worker_main(conn: socket.socket) -> None:
     Operation errors become typed ERR replies; a ``SimulatedCrash``
     escapes as a hard ``os._exit`` — modelling SIGKILL, with no flush
     and no index republication — which the parent observes as EOF.
+
+    Telemetry is recorded only while armed (OP_TELEMETRY control frame)
+    and only for *successful* operations, so worker-side histogram
+    counts equal client-side completion counts equal the store-level
+    physical I/O totals — the bit-exact cross-check ``--attribution``
+    and the bench enforce.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent owns Ctrl-C
     store: Any = None
+    telemetry: _WorkerTelemetry | None = None
     # Item geometry comes from the ATTACH spec, not the store object —
     # not every backing implementation exposes shape/dtype attributes.
     shape: tuple[int, ...] = ()
@@ -227,7 +310,10 @@ def _shard_worker_main(conn: socket.socket) -> None:
             hdr = _recv_exact(conn, _HEADER.size)
             if hdr is None:
                 break
-            req, op, item, length = _HEADER.unpack(hdr)
+            req, op, item, length, trace, t_send = _HEADER.unpack(hdr)
+            t_recv = (time.perf_counter()
+                      if telemetry is not None
+                      or op in (OP_ATTACH, OP_TELEMETRY) else 0.0)
             payload = _recv_exact(conn, length) if length else b""
             if payload is None:
                 break
@@ -240,16 +326,70 @@ def _shard_worker_main(conn: socket.socket) -> None:
                     shape = tuple(int(d) for d in spec["item_shape"])
                     dtype = np.dtype(str(spec["dtype"]))
                     store = _build_worker_store(spec)
-                    reply_op, reply = OP_OK, b""
+                    telemetry = None  # a fresh worker starts disarmed
+                    # Handshake: worker-clock samples bracketing the
+                    # attach, for NTP-style offset calibration.
+                    reply_op = OP_OK
+                    reply = json.dumps({
+                        "t_recv": t_recv,
+                        "t_reply": time.perf_counter(),
+                    }).encode()
+                elif op == OP_TELEMETRY:
+                    if length:
+                        ctl = json.loads(payload.decode())
+                        if ctl.get("arm"):
+                            if telemetry is None:
+                                telemetry = _WorkerTelemetry(
+                                    int(ctl.get("shard", 0)),
+                                    float(ctl.get("clock_offset", 0.0)))
+                            else:
+                                telemetry.clock_offset = float(
+                                    ctl.get("clock_offset", 0.0))
+                        else:
+                            telemetry = None
+                        # Control replies bracket a quiescent exchange —
+                        # a far tighter calibration sample than ATTACH,
+                        # which races worker startup.
+                        reply_op = OP_OK
+                        reply = json.dumps({
+                            "t_recv": t_recv,
+                            "t_reply": time.perf_counter(),
+                        }).encode()
+                    else:
+                        reply_op = OP_DATA
+                        reply = (b"{}" if telemetry is None
+                                 else telemetry.drain())
                 elif store is None:
                     raise BackingStoreError("shard worker is not attached")
                 elif op == OP_READ:
                     out = np.empty(shape, dtype=dtype)
-                    store.read(int(item), out)
+                    if telemetry is None:
+                        store.read(int(item), out)
+                    else:
+                        t_op = time.perf_counter()
+                        store.read(int(item), out)
+                        dt = time.perf_counter() - t_op
+                        telemetry.probe.record_read(dt, out.nbytes)
+                        telemetry.wire_read.record(
+                            t_recv - (t_send + telemetry.clock_offset))
+                        telemetry.span("shard_disk_read", t_recv,
+                                       time.perf_counter() - t_recv,
+                                       trace, item)
                     reply_op, reply = OP_DATA, out.tobytes()
                 elif op == OP_WRITE:
                     data = np.frombuffer(payload, dtype=dtype).reshape(shape)
-                    store.write(int(item), data)
+                    if telemetry is None:
+                        store.write(int(item), data)
+                    else:
+                        t_op = time.perf_counter()
+                        store.write(int(item), data)
+                        dt = time.perf_counter() - t_op
+                        telemetry.probe.record_write(dt, len(payload))
+                        telemetry.wire_write.record(
+                            t_recv - (t_send + telemetry.clock_offset))
+                        telemetry.span("shard_disk_write", t_recv,
+                                       time.perf_counter() - t_recv,
+                                       trace, item)
                     reply_op, reply = OP_OK, b""
                 elif op == OP_FLUSH:
                     store.flush()
@@ -262,7 +402,10 @@ def _shard_worker_main(conn: socket.socket) -> None:
                     raise BackingStoreError(f"unknown opcode {op}")
             except Exception as exc:  # noqa: BLE001 - becomes a typed ERR frame
                 reply_op, reply = OP_ERR, _err_payload(exc)
-            _sendmsg_all(conn, _frame(req, reply_op, item, reply))
+            # Armed replies carry the worker-clock send time, so the
+            # client can split off the reply-wire leg.
+            t_out = time.perf_counter() if telemetry is not None else 0.0
+            _sendmsg_all(conn, _frame(req, reply_op, item, reply, 0, t_out))
             if stop:
                 return
     except OSError:
@@ -283,10 +426,12 @@ def _shard_worker_main(conn: socket.socket) -> None:
 class _Pending:
     """One in-flight request: the re-issue record and the completion cell."""
 
-    __slots__ = ("req", "op", "item", "payload", "out", "done", "error", "t0")
+    __slots__ = ("req", "op", "item", "payload", "out", "done", "error",
+                 "t0", "trace", "parent", "result")
 
     def __init__(self, req: int, op: int, item: int, payload: bytes,
-                 out: np.ndarray | None) -> None:
+                 out: np.ndarray | None, trace: int = 0,
+                 parent: int = 0) -> None:
         self.req = req
         self.op = op
         self.item = item
@@ -295,6 +440,9 @@ class _Pending:
         self.done = False                        # set under the owning client's _cond
         self.error: BaseException | None = None  # set under the owning client's _cond
         self.t0 = 0.0
+        self.trace = trace   # span id for this request (0 = untraced)
+        self.parent = parent  # causing span id (write-behind/prefetch scope)
+        self.result: bytes | None = None  # OP_TELEMETRY pull reply payload
 
 
 class ShardTicket:
@@ -342,6 +490,11 @@ class _ShardClient:
         self.writes_completed = 0                   # guarded-by: _cond
         self.bytes_read = 0                         # guarded-by: _cond
         self.bytes_written = 0                      # guarded-by: _cond
+        # Worker-clock minus client-clock offset, calibrated from the
+        # ATTACH handshake and refined by every telemetry-control round
+        # trip (single writer: the receiver thread; float reads
+        # elsewhere are GIL-atomic).
+        self.clock_offset = 0.0
         self._cond = make_condition(make_lock("ShardClient"))
         self._send = make_lock("ShardClient.send")
         self._pending: dict[int, _Pending] = {}     # guarded-by: _cond
@@ -391,12 +544,13 @@ class _ShardClient:
         return self.submit(OP_ATTACH, 0, payload, None)
 
     def submit(self, op: int, item: int, payload: bytes,
-               out: np.ndarray | None) -> _Pending:
+               out: np.ndarray | None, trace: int = 0,
+               parent: int = 0) -> _Pending:
         """Register one request and send its frame (bounded-window)."""
-        return self.submit_many([(op, item, payload, out)])[0]
+        return self.submit_many([(op, item, payload, out, trace, parent)])[0]
 
-    def submit_many(self, ops: list[tuple[int, int, bytes,
-                                          np.ndarray | None]]) -> list[_Pending]:
+    def submit_many(self, ops: list[tuple[int, int, bytes, np.ndarray | None,
+                                          int, int]]) -> list[_Pending]:
         """Register a batch and send all frames with one vectored call.
 
         Blocks while the in-flight window is full or a restart is
@@ -405,17 +559,30 @@ class _ShardClient:
         from the pending map — a duplicate frame is harmless because the
         worker's operations are idempotent and the receiver drops
         replies whose ``req_id`` is no longer pending.
+
+        When telemetry is armed, time stalled on the full window is
+        measured (it is a stage of end-to-end request latency the
+        per-request ``t0`` clock deliberately excludes) and reported to
+        the owner after the lock is released.
         """
         entries: list[_Pending] = []
+        armed = self.owner._armed
+        stall_start = 0.0
+        stalled = 0.0
         with self._cond:
-            for op, item, payload, out in ops:
+            for op, item, payload, out, trace, parent in ops:
                 while (self._restarting
                        or len(self._pending) >= self.window):
                     if self._fatal is not None:
                         raise BackingStoreError(
                             f"shard {self.shard} worker unrecoverable"
                         ) from self._fatal
+                    t_wait = time.perf_counter() if armed else 0.0
                     self._cond.wait()
+                    if armed:
+                        if stall_start == 0.0:
+                            stall_start = t_wait
+                        stalled += time.perf_counter() - t_wait
                 if self._fatal is not None:
                     raise BackingStoreError(
                         f"shard {self.shard} worker unrecoverable"
@@ -424,15 +591,19 @@ class _ShardClient:
                     raise BackingStoreError("sharded backing store is closed")
                 req = self._next_req
                 self._next_req = (self._next_req + 1) % (1 << 32)
-                entry = _Pending(req, op, item, payload, out)
+                entry = _Pending(req, op, item, payload, out, trace, parent)
                 entry.t0 = time.perf_counter()
                 self._pending[req] = entry
                 entries.append(entry)
             sock = self._sock
+        if stalled > 0.0:
+            self.owner._note_window_wait(self.shard, stall_start, stalled)
         frames: list[bytes] = []
         for entry in entries:
+            # t_send is the registration timestamp already on the entry —
+            # the trace context rides along with no extra clock reads.
             frames.extend(_frame(entry.req, entry.op, entry.item,
-                                 entry.payload))
+                                 entry.payload, entry.trace, entry.t0))
         try:
             with self._send:
                 assert sock is not None
@@ -464,11 +635,11 @@ class _ShardClient:
                 hdr = _recv_exact(sock, _HEADER.size)
                 if hdr is None:
                     break
-                req, op, _item, length = _HEADER.unpack(hdr)
+                req, op, _item, length, _trace, t_send = _HEADER.unpack(hdr)
                 payload = _recv_exact(sock, length) if length else b""
                 if payload is None:
                     break
-                self._complete(req, op, payload)
+                self._complete(req, op, payload, t_send)
         except OSError:
             pass
         with self._cond:
@@ -476,7 +647,8 @@ class _ShardClient:
                 return
         self._restart(sock)
 
-    def _complete(self, req: int, op: int, payload: bytes) -> None:
+    def _complete(self, req: int, op: int, payload: bytes,
+                  t_send: float) -> None:
         with self._cond:
             entry = self._pending.pop(req, None)
         if entry is None:
@@ -484,6 +656,15 @@ class _ShardClient:
         error: BaseException | None = None
         if op == OP_ERR:
             error = _map_error(payload)
+        elif entry.op == OP_ATTACH and payload:
+            self._calibrate(entry, payload)
+        elif entry.op == OP_TELEMETRY:
+            if entry.payload and payload:
+                # Arm/disarm control round trip: its OK reply carries a
+                # fresh timestamp bracket — recalibrate on it.
+                self._calibrate(entry, payload)
+            else:
+                entry.result = payload
         elif entry.op == OP_READ and entry.out is not None:
             flat = entry.out.reshape(-1).view(np.uint8)
             if len(payload) != flat.size:
@@ -492,13 +673,71 @@ class _ShardClient:
                     f"for item {entry.item}, expected {flat.size}")
             else:
                 flat[:] = np.frombuffer(payload, dtype=np.uint8)
-        dt = time.perf_counter() - entry.t0
+        t_done = time.perf_counter()
+        dt = t_done - entry.t0
         if error is None and entry.op in (OP_READ, OP_WRITE):
             self._account(entry.op, dt)
+            if self.owner._armed:
+                if t_send > 0.0:
+                    # Reply-wire leg: worker send (converted to the
+                    # client clock) to this receive.
+                    self.owner._record_reply(
+                        entry.op, t_done - (t_send - self.clock_offset))
+                sp = self.owner._spans
+                if sp is not None and entry.trace:
+                    sp.complete(
+                        "shard_read" if entry.op == OP_READ
+                        else "shard_write",
+                        entry.t0, dt,
+                        {"shard": self.shard, "item": entry.item},
+                        span_id=entry.trace, parent=entry.parent)
         with self._cond:
             entry.error = error
             entry.done = True
             self._cond.notify_all()
+
+    def _calibrate(self, entry: _Pending, payload: bytes) -> None:
+        """NTP-style clock offset from a timestamped round trip.
+
+        ``offset = worker_mid - client_mid`` where each midpoint halves
+        the request/reply bracket on its own clock. On Linux,
+        ``perf_counter`` is CLOCK_MONOTONIC and fork-shared, so the
+        offset is ~0; the calibration matters on platforms (or future
+        spawn-based workers) where the clocks do not share an epoch.
+        """
+        try:
+            doc = json.loads(payload.decode())
+            worker_mid = (float(doc["t_recv"]) + float(doc["t_reply"])) / 2.0
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return
+        client_mid = (entry.t0 + time.perf_counter()) / 2.0
+        self.clock_offset = worker_mid - client_mid
+
+    # -- telemetry control (parent side) --------------------------------------
+
+    def set_telemetry(self, armed: bool) -> None:
+        """Arm or disarm worker-side recording (synchronous round trips).
+
+        Arming takes two round trips: the first reply's timestamp
+        bracket recalibrates :attr:`clock_offset` under quiescent
+        conditions (the ATTACH-time estimate races worker startup and
+        can be off by the whole fork latency), the second ships the
+        refined offset to the worker for its wire-leg measurements.
+        """
+        for _ in range(2 if armed else 1):
+            ctl = json.dumps({
+                "arm": bool(armed),
+                "shard": self.shard,
+                "clock_offset": self.clock_offset,
+            }).encode()
+            self.wait(self.submit(OP_TELEMETRY, 0, ctl, None))
+
+    def pull_telemetry(self) -> dict[str, Any]:
+        """Fetch-and-reset the worker's telemetry delta (empty if unarmed)."""
+        entry = self.submit(OP_TELEMETRY, 0, b"", None)
+        self.wait(entry)
+        doc = json.loads((entry.result or b"{}").decode())
+        return doc if isinstance(doc, dict) else {}
 
     def _account(self, op: int, dt: float) -> None:
         """Per-shard accounting for one *successful* read/write.
@@ -551,9 +790,16 @@ class _ShardClient:
             self._spawn()
             attach = json.dumps(self.spec).encode()
             frames = _frame(self._reserve_req(OP_ATTACH), OP_ATTACH, 0, attach)
+            if self.owner._armed:
+                # A fresh worker starts disarmed: re-arm before the
+                # replay so re-issued operations keep being recorded.
+                ctl = json.dumps({"arm": True, "shard": self.shard,
+                                  "clock_offset": self.clock_offset}).encode()
+                frames.extend(_frame(self._reserve_req(OP_TELEMETRY),
+                                     OP_TELEMETRY, 0, ctl))
             for entry in pending:
                 frames.extend(_frame(entry.req, entry.op, entry.item,
-                                     entry.payload))
+                                     entry.payload, entry.trace, entry.t0))
             sock = self._sock
             with self._send:
                 assert sock is not None
@@ -668,9 +914,28 @@ class ShardedBackingStore:
         self.kind = kind
         # Observability hooks (default off), see MemoryBackingStore.probe.
         # The receiver threads read them per completion, one shard label
-        # per receiver (single writer per labelled series).
-        self.probe: BackingProbe | None = None
-        self.metrics: MetricsRegistry | None = None
+        # per receiver (single writer per labelled series). probe /
+        # metrics / spans are properties: assigning any of them arms or
+        # disarms worker-side telemetry (see _update_arming).
+        self._probe: BackingProbe | None = None
+        self._metrics: MetricsRegistry | None = None
+        self._spans: SpanRecorder | None = None
+        self._armed = False
+        # Parent-side sinks for telemetry pulled over OP_TELEMETRY.
+        # worker_probe counts successful worker-side ops, so its totals
+        # cross-check bit-exactly against client completions / IoStats.
+        self.worker_probe = BackingProbe()
+        self.wire_read_hist = LogHistogram()
+        self.wire_write_hist = LogHistogram()
+        self.reply_read_hist = LogHistogram()
+        self.reply_write_hist = LogHistogram()
+        self.window_hist = LogHistogram()
+        self._worker_spans: dict[int, list[SpanRecord]] = {}  # guarded-by: _telemetry_lock
+        self._worker_span_drops = 0  # guarded-by: _telemetry_lock
+        self._telemetry_lock = make_lock("ShardedTelemetry")
+        # Per-thread trace context: the span id of whatever caused the
+        # submits issued on this thread (writeback drain, prefetch load).
+        self._tls = threading.local()
         self._closed = False
         self._restart_lock = make_lock("ShardedBackingStore")
         self.total_restarts = 0  # guarded-by: _restart_lock
@@ -719,6 +984,178 @@ class ShardedBackingStore:
         return cls(directory, layout.num_items, layout.item_shape, dtype,
                    **kwargs)
 
+    # -- observability hooks / cross-process telemetry --------------------------
+
+    @property
+    def probe(self) -> "BackingProbe | None":
+        return self._probe
+
+    @probe.setter
+    def probe(self, probe: "BackingProbe | None") -> None:
+        self._probe = probe
+        self._update_arming()
+
+    @property
+    def metrics(self) -> "MetricsRegistry | None":
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: "MetricsRegistry | None") -> None:
+        old = self._metrics
+        if old is not None and old is not registry:
+            old.unregister_collector(self._collect)
+        self._metrics = registry
+        if registry is not None:
+            registry.register_collector(self._collect)
+        self._update_arming()
+
+    @property
+    def spans(self) -> "SpanRecorder | None":
+        return self._spans
+
+    @spans.setter
+    def spans(self, recorder: "SpanRecorder | None") -> None:
+        self._spans = recorder
+        self._update_arming()
+
+    def _update_arming(self) -> None:
+        """Arm worker-side recording iff any observability sink is set.
+
+        Pay-for-play across the process boundary: with no probe, no
+        registry and no span recorder attached, the workers never call
+        ``perf_counter`` and never buffer anything.
+        """
+        want = (self._probe is not None or self._metrics is not None
+                or self._spans is not None)
+        if want == self._armed:
+            return
+        self._armed = want
+        if self._closed:
+            return
+        for client in self._clients:
+            with contextlib.suppress(BackingStoreError):
+                client.set_telemetry(want)
+
+    def _collect(self) -> None:
+        """Registry pull collector: live shard gauges + telemetry pull."""
+        mx = self._metrics
+        if mx is None:
+            return
+        now = time.perf_counter()
+        for c in self._clients:
+            with c._cond:
+                depth = len(c._pending)
+                oldest = min((e.t0 for e in c._pending.values()),
+                             default=now)
+            label = {"shard": str(c.shard)}
+            mx.gauge_set_labeled("shard_inflight", label, depth)
+            mx.gauge_set_labeled("shard_oldest_pending_seconds", label,
+                                 max(0.0, now - oldest) if depth else 0.0)
+        if self._armed and not self._closed:
+            self.collect_telemetry()
+
+    def collect_telemetry(self) -> None:
+        """Pull every worker's delta and merge it into the parent sinks.
+
+        Safe to call repeatedly (deltas never double-count) and during
+        shutdown races (a dying shard is skipped, its data arrives with
+        the next pull after restart).
+        """
+        mx = self._metrics
+        for c in self._clients:
+            try:
+                doc = c.pull_telemetry()
+            except BackingStoreError:
+                continue
+            if not doc:
+                continue
+            with self._telemetry_lock:
+                self.worker_probe.merge_state(doc["probe"])
+                self.wire_read_hist.merge_state(doc["wire_read"])
+                self.wire_write_hist.merge_state(doc["wire_write"])
+                records = self._worker_spans.setdefault(c.shard, [])
+                for name, start, dur, sid, parent, item in doc.get(
+                        "spans", []):
+                    records.append(SpanRecord(
+                        str(name), float(start), float(dur),
+                        f"shard-worker-{c.shard}", {"item": int(item)},
+                        int(sid), int(parent)))
+                self._worker_span_drops += int(doc.get("spans_dropped", 0))
+            if mx is not None:
+                mx.merge_histogram("shard_disk_read_seconds",
+                                   doc["probe"]["read"])
+                mx.merge_histogram("shard_disk_write_seconds",
+                                   doc["probe"]["write"])
+                mx.merge_histogram("shard_wire_seconds", doc["wire_read"])
+                mx.merge_histogram("shard_wire_seconds", doc["wire_write"])
+                mx.inc("shard_telemetry_pulls")
+
+    def export_spans_into(self, recorder: "SpanRecorder") -> int:
+        """Attach collected worker spans as per-worker process tracks.
+
+        Returns the number of spans exported. Call after
+        :meth:`collect_telemetry` (or after :meth:`close`, which drains);
+        each track carries its shard's calibrated clock offset so the
+        merged timeline is causally ordered.
+        """
+        total = 0
+        with self._telemetry_lock:
+            for shard in sorted(self._worker_spans):
+                records = self._worker_spans[shard]
+                if not records:
+                    continue
+                recorder.add_process_track(
+                    f"shard-worker-{shard}", records,
+                    self._clients[shard].clock_offset)
+                total += len(records)
+        return total
+
+    def worker_span_drops(self) -> int:
+        """Worker spans lost to the bounded per-worker buffer."""
+        with self._telemetry_lock:
+            return self._worker_span_drops
+
+    @contextlib.contextmanager
+    def trace_scope(self, span_id: int) -> Iterator[None]:
+        """Make ``span_id`` the parent of submits from this thread.
+
+        The write-behind drain and the prefetcher wrap their submit
+        calls in this, so the worker-side disk span chains back through
+        the client request span to the drain/load that caused it.
+        """
+        prev = int(getattr(self._tls, "parent", 0))
+        self._tls.parent = int(span_id)
+        try:
+            yield
+        finally:
+            self._tls.parent = prev
+
+    def _trace_ids(self) -> tuple[int, int]:
+        """(span id, parent id) for one submit; (0, 0) when untraced."""
+        if self._spans is None:
+            return 0, 0
+        return next_span_id(), int(getattr(self._tls, "parent", 0))
+
+    def _note_window_wait(self, shard: int, t0: float,
+                          seconds: float) -> None:
+        """One submit's cumulative stall on the bounded in-flight window."""
+        self.window_hist.record(seconds)
+        mx = self._metrics
+        if mx is not None:
+            mx.observe("shard_window_wait_seconds", seconds)
+        sp = self._spans
+        if sp is not None:
+            sp.complete("shard_window_wait", t0, seconds, {"shard": shard})
+
+    def _record_reply(self, op: int, seconds: float) -> None:
+        """Reply-wire latency measured by a shard's receiver thread."""
+        hist = (self.reply_read_hist if op == OP_READ
+                else self.reply_write_hist)
+        hist.record(seconds)
+        mx = self._metrics
+        if mx is not None:
+            mx.observe("shard_reply_seconds", seconds)
+
     # -- placement ------------------------------------------------------------
 
     def shard_of_item(self, item: int) -> int:
@@ -746,7 +1183,9 @@ class ShardedBackingStore:
                 f"read buffer mismatch: {out.nbytes} bytes vs item width "
                 f"{self.item_bytes}")
         client, local = self._route(item)
-        return ShardTicket(client, client.submit(OP_READ, local, b"", out))
+        trace, parent = self._trace_ids()
+        return ShardTicket(client, client.submit(OP_READ, local, b"", out,
+                                                 trace, parent))
 
     def submit_write(self, item: int, data: np.ndarray) -> ShardTicket:
         """Issue a write without waiting; ``ticket.wait()`` collects it.
@@ -757,8 +1196,9 @@ class ShardedBackingStore:
         """
         client, local = self._route(item)
         payload = self._payload(item, data)
+        trace, parent = self._trace_ids()
         return ShardTicket(client, client.submit(OP_WRITE, local, payload,
-                                                 None))
+                                                 None, trace, parent))
 
     def _payload(self, item: int, data: np.ndarray) -> bytes:
         if data.dtype != self.dtype or not data.flags.c_contiguous:
@@ -785,9 +1225,12 @@ class ShardedBackingStore:
             self._check(item)
             by_shard.setdefault(int(self._shard[item]), []).append(idx)
         tickets: list[ShardTicket | None] = [None] * len(rows)
+        traced = self._spans is not None
+        parent = (int(getattr(self._tls, "parent", 0)) if traced else 0)
         for s, idxs in by_shard.items():
             client = self._clients[s]
-            ops = [(op, int(self._local[rows[i][0]]), rows[i][2], rows[i][1])
+            ops = [(op, int(self._local[rows[i][0]]), rows[i][2], rows[i][1],
+                    next_span_id() if traced else 0, parent)
                    for i in idxs]
             for i, entry in zip(idxs, client.submit_many(ops)):
                 tickets[i] = ShardTicket(client, entry)
@@ -818,6 +1261,11 @@ class ShardedBackingStore:
     def close(self) -> None:
         if self._closed:
             return
+        if self._armed:
+            # Final drain: whatever the workers recorded since the last
+            # scrape must land parent-side before the processes exit.
+            with contextlib.suppress(BackingStoreError):
+                self.collect_telemetry()
         self._closed = True
         for client in self._clients:
             client.close()

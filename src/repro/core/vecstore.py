@@ -426,6 +426,13 @@ class AncestralVectorStore:
         registry.gauge_set("prefetch_untouched", untouched)
         registry.gauge_set("writeback_queue_depth",
                            wb.pending() if wb is not None else 0)
+        tr = self._tracer
+        if tr is not None:
+            # Ring overwrites would otherwise be silent: a truncated
+            # trace export is detectable from any scrape/snapshot even
+            # without an Observer attached.
+            registry.counter_set("trace_events_emitted", tr.emitted)
+            registry.counter_set("trace_events_dropped", tr.dropped)
 
     def is_resident(self, item: int) -> bool:
         self._check_item(item)

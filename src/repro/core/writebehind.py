@@ -47,6 +47,7 @@ from repro.analysis.race import make_condition, make_lock, make_thread, race_det
 from repro.core.backing import BackingStore
 from repro.core.stats import IoStats
 from repro.errors import OutOfCoreError
+from repro.obs.spans import next_span_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.histogram import LogHistogram
@@ -353,7 +354,12 @@ class WriteBehindQueue:
         of spinning.
         """
         rc = self._race
-        inflight: deque[tuple[int, np.ndarray, Any, float]] = deque()
+        # Trace-context injection: when spans are on and the backing can
+        # scope submits (the sharded tier), every drain gets a span id
+        # that the backing threads through its wire header, chaining the
+        # worker-side disk span back to this drain.
+        scope = getattr(self.backing, "trace_scope", None)
+        inflight: deque[tuple[int, np.ndarray, Any, float, int]] = deque()
         while True:
             stopping = False
             with self._cond:
@@ -374,7 +380,7 @@ class WriteBehindQueue:
                 # remain here after a drain that raised; let them settle
                 # (the backing is about to be closed) and abandon the
                 # queue like the synchronous path does.
-                for _item, _buf, ticket, _t0 in inflight:
+                for _item, _buf, ticket, _t0, _sid in inflight:
                     try:
                         ticket.wait()
                     except BaseException:  # noqa: BLE001 - abandoned on stop
@@ -383,23 +389,30 @@ class WriteBehindQueue:
             failed: list[tuple[int, BaseException]] = []
             for item, buf in batch:
                 t0 = time.perf_counter()
+                sid = (next_span_id()
+                       if self.spans is not None and scope is not None else 0)
                 try:
-                    inflight.append((item, buf, submit(item, buf), t0))
+                    if sid:
+                        with scope(sid):
+                            ticket = submit(item, buf)
+                    else:
+                        ticket = submit(item, buf)
+                    inflight.append((item, buf, ticket, t0, sid))
                 except BaseException as exc:  # noqa: BLE001 - surfaced via drain()
                     failed.append((item, exc))
             if inflight:
-                item, buf, ticket, t0 = inflight.popleft()
+                item, buf, ticket, t0, sid = inflight.popleft()
                 try:
                     ticket.wait()
                 except BaseException as exc:  # noqa: BLE001 - surfaced via drain()
                     failed.append((item, exc))
                 else:
-                    self._finish_async(item, buf, t0)
+                    self._finish_async(item, buf, t0, sid)
             if failed:
                 self._park_failed(failed, park=not inflight)
 
-    def _finish_async(self, item: int, buf: np.ndarray,
-                      t0: float) -> None:  # thread: writer
+    def _finish_async(self, item: int, buf: np.ndarray, t0: float,
+                      sid: int = 0) -> None:  # thread: writer
         """Account one completed asynchronous drain (mirrors the sync path)."""
         rc = self._race
         write_dur = time.perf_counter() - t0
@@ -413,7 +426,8 @@ class WriteBehindQueue:
             mx.observe("writeback_drain_seconds", write_dur)
         sp = self.spans
         if sp is not None:
-            sp.complete("writeback_drain", t0, write_dur, {"item": item})
+            sp.complete("writeback_drain", t0, write_dur, {"item": item},
+                        span_id=sid)
         with self._cond:
             if rc is not None:
                 rc.write(self._race_scope, "_writing", "_staged", "_pool",

@@ -127,6 +127,10 @@ class Observer:
         backing = getattr(store, "backing", None)
         if backing is not None and hasattr(backing, "probe"):
             backing.probe = self.probe
+        if backing is not None and hasattr(backing, "spans"):
+            # Cross-process backings (the sharded tier) also take a span
+            # recorder: worker spans merge back as per-process tracks.
+            backing.spans = self.spans
         writeback = getattr(store, "writeback", None)
         if writeback is not None:
             writeback.drain_hist = self.drain_hist
@@ -155,6 +159,8 @@ class Observer:
         backing = getattr(store, "backing", None)
         if backing is not None and hasattr(backing, "probe"):
             backing.probe = None
+        if backing is not None and hasattr(backing, "spans"):
+            backing.spans = None
         writeback = getattr(store, "writeback", None)
         if writeback is not None:
             writeback.drain_hist = None

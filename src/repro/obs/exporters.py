@@ -24,13 +24,16 @@ from typing import Any, Iterable, Sequence
 
 #: Version tag of the ``BENCH_profile.json`` document layout.
 #: ``/2`` added the ``metrics`` block (a full registry snapshot) and the
-#: counter/registry consistency requirements below.
-PROFILE_SCHEMA = "repro-profile/2"
+#: counter/registry consistency requirements below. ``/3`` adds the
+#: ``attribution`` block: per-op latency percentiles decomposed into
+#: pipeline stages (window wait, wire, worker disk, reply) from merged
+#: cross-process histograms.
+PROFILE_SCHEMA = "repro-profile/3"
 
 #: Top-level keys every profile document must carry.
 _REQUIRED_TOP = (
     "schema", "workload", "config", "phases", "counters", "histograms",
-    "events", "metrics",
+    "events", "metrics", "attribution",
 )
 #: Required sub-keys of each per-phase timing entry.
 _PHASE_KEYS = ("seconds", "calls")
@@ -48,6 +51,10 @@ _COUNTER_KEYS = (
 _EVENT_KEYS = ("emitted", "captured", "dropped", "by_type")
 #: Required sub-keys of the metrics registry snapshot block.
 _METRICS_KEYS = ("counters", "gauges", "histograms")
+#: Required numeric keys of every attribution stage summary.
+_ATTR_SUMMARY_KEYS = ("count", "sum", "p50", "p95", "p99")
+#: Per-op entries the attribution block must decompose.
+_ATTR_OPS = ("read", "write")
 
 
 def records_to_jsonl(records: Iterable[Any], path: str) -> int:
@@ -226,4 +233,52 @@ def validate_profile(doc: Any) -> list[str]:
                     problems.append(
                         f"events.{ev_key} ({have}) disagrees with "
                         f"metrics counter {metric!r} ({want})")
+
+    problems.extend(_validate_attribution(doc["attribution"]))
+    return problems
+
+
+def _summary_problems(where: str, summary: Any) -> list[str]:
+    if not isinstance(summary, dict):
+        return [f"{where} must be an object"]
+    return [f"{where} missing numeric {key!r}"
+            for key in _ATTR_SUMMARY_KEYS
+            if not isinstance(summary.get(key), (int, float))]
+
+
+def _validate_attribution(attr: Any) -> list[str]:
+    """Validate the ``/3`` latency-attribution block.
+
+    Shape: ``{"backing": str, "window_wait": summary, "ops": {"read"/
+    "write": summary + {"stages": {name: summary}}}, "per_shard": obj}``
+    where every summary carries count/sum/p50/p95/p99. Stage *names* are
+    backing-dependent (a sharded run reports wire/disk/reply; a local
+    run reports only disk), so only the shapes are pinned here.
+    """
+    if not isinstance(attr, dict):
+        return [f"attribution must be an object, got {_type_name(attr)}"]
+    problems: list[str] = []
+    if not isinstance(attr.get("backing"), str) or not attr.get("backing"):
+        problems.append("attribution.backing must be a non-empty string")
+    problems.extend(_summary_problems("attribution.window_wait",
+                                      attr.get("window_wait")))
+    ops = attr.get("ops")
+    if not isinstance(ops, dict):
+        problems.append("attribution.ops must be an object")
+        return problems
+    for op in _ATTR_OPS:
+        entry = ops.get(op)
+        if not isinstance(entry, dict):
+            problems.append(f"attribution.ops.{op} must be an object")
+            continue
+        problems.extend(_summary_problems(f"attribution.ops.{op}", entry))
+        stages = entry.get("stages")
+        if not isinstance(stages, dict):
+            problems.append(f"attribution.ops.{op}.stages must be an object")
+            continue
+        for name, summary in stages.items():
+            problems.extend(_summary_problems(
+                f"attribution.ops.{op}.stages.{name}", summary))
+    if not isinstance(attr.get("per_shard"), dict):
+        problems.append("attribution.per_shard must be an object")
     return problems

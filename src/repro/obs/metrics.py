@@ -71,6 +71,15 @@ METRIC_NAMES = frozenset({
     "backing_bytes_read",
     "backing_bytes_written",
     "shard_restarts",
+    # -- sharded-tier cross-process telemetry (PR 10) --
+    "shard_telemetry_pulls",
+    "shard_inflight",
+    "shard_oldest_pending_seconds",
+    "shard_window_wait_seconds",
+    "shard_wire_seconds",
+    "shard_disk_read_seconds",
+    "shard_disk_write_seconds",
+    "shard_reply_seconds",
     # -- engine phase counters (seconds are monotone totals) --
     "phase_plan_seconds",
     "phase_plan_calls",
@@ -132,6 +141,21 @@ METRIC_EXPOSITION: dict[str, tuple[str, str]] = {
     "backing_bytes_read": ("counter", "Bytes physically read, by shard"),
     "backing_bytes_written": ("counter", "Bytes physically written, by shard"),
     "shard_restarts": ("counter", "Dead shard workers detected and restarted"),
+    "shard_telemetry_pulls": ("counter", "OP_TELEMETRY delta pulls completed"),
+    "shard_inflight": ("gauge", "Requests in flight to a shard worker, "
+                                "by shard"),
+    "shard_oldest_pending_seconds": ("gauge", "Age of the oldest pending "
+                                              "request, by shard"),
+    "shard_window_wait_seconds": ("histogram", "Submit stalls on the bounded "
+                                               "in-flight window"),
+    "shard_wire_seconds": ("histogram", "Client send to worker dequeue "
+                                        "(queueing + wire transfer)"),
+    "shard_disk_read_seconds": ("histogram", "Worker-side backing read "
+                                             "latency (merged)"),
+    "shard_disk_write_seconds": ("histogram", "Worker-side backing write "
+                                              "latency (merged)"),
+    "shard_reply_seconds": ("histogram", "Worker reply send to client "
+                                         "receive (wire + collect)"),
     "phase_plan_seconds": ("counter", "Engine time planning traversals"),
     "phase_plan_calls": ("counter", "Engine plan laps"),
     "phase_kernel_seconds": ("counter", "Engine time in likelihood kernels"),
@@ -166,6 +190,17 @@ LABELED_COUNTERS = frozenset({
     "backing_writes",
     "backing_bytes_read",
     "backing_bytes_written",
+})
+
+#: Gauges carrying a label set instead of one scalar series, updated via
+#: :meth:`MetricsRegistry.gauge_set_labeled` only (same shadowing
+#: argument as :data:`LABELED_COUNTERS`). Unlike labelled counters these
+#: are live values, so the exposition renders every label set as its own
+#: sample and :meth:`MetricsRegistry.value` sums them (total in-flight
+#: across shards is the number the admission story cares about).
+LABELED_GAUGES = frozenset({
+    "shard_inflight",
+    "shard_oldest_pending_seconds",
 })
 
 #: Prefix prepended to every metric name in the text exposition.
@@ -210,8 +245,11 @@ class MetricsRegistry:
         # dict slots.
         self._labeled: dict[str, dict[str, int | float]] = {
             name: {} for name in LABELED_COUNTERS}
+        self._labeled_gauges: dict[str, dict[str, int | float]] = {
+            name: {} for name in LABELED_GAUGES}
         self._gauges: dict[str, int | float] = {
-            name: 0 for name, kind in self._kinds.items() if kind == "gauge"}
+            name: 0 for name, kind in self._kinds.items()
+            if kind == "gauge" and name not in LABELED_GAUGES}
         self._hists: dict[str, LogHistogram] = {
             name: LogHistogram() for name, kind in self._kinds.items()
             if kind == "histogram"}
@@ -235,8 +273,12 @@ class MetricsRegistry:
         if found != kind:
             raise OutOfCoreError(
                 f"metric {name!r} is a {found}, not a {kind}")
-        if labeled != (name in LABELED_COUNTERS):
-            want = "inc_labeled" if name in LABELED_COUNTERS else "inc"
+        is_labeled = name in LABELED_COUNTERS or name in LABELED_GAUGES
+        if labeled != is_labeled:
+            if found == "gauge":
+                want = "gauge_set_labeled" if is_labeled else "gauge_set"
+            else:
+                want = "inc_labeled" if is_labeled else "inc"
             raise OutOfCoreError(
                 f"metric {name!r} must be updated via {want}()")
 
@@ -269,10 +311,23 @@ class MetricsRegistry:
         self._check(name, "gauge")
         self._gauges[name] += delta
 
+    def gauge_set_labeled(self, name: str, labels: dict[str, str],
+                          value: int | float) -> None:
+        """Set one label set of a labelled gauge (e.g. per-shard depth)."""
+        self._check(name, "gauge", labeled=True)
+        self._labeled_gauges[name][_label_key(labels)] = value
+
     def observe(self, name: str, seconds: float) -> None:
         """Record one observation into a histogram metric."""
         self._check(name, "histogram")
         self._hists[name].record(seconds)
+
+    def merge_histogram(self, name: str, state: dict[str, Any]) -> None:
+        """Merge a serialised :meth:`LogHistogram.state` delta into a
+        histogram metric — the sink for worker-side latency shipped over
+        ``OP_TELEMETRY``."""
+        self._check(name, "histogram")
+        self._hists[name].merge_state(state)
 
     # -- collectors (pull side) -------------------------------------------------
 
@@ -318,6 +373,8 @@ class MetricsRegistry:
                 return sum(self._labeled[name].values())
             return self._counters[name]
         if kind == "gauge":
+            if name in LABELED_GAUGES:
+                return sum(self._labeled_gauges[name].values())
             return self._gauges[name]
         if kind == "histogram":
             raise OutOfCoreError(
@@ -326,7 +383,10 @@ class MetricsRegistry:
             f"unknown metric {name!r}: not in the METRIC_NAMES catalogue")
 
     def labeled(self, name: str) -> dict[str, int | float]:
-        """All label sets of a labelled counter: ``{'shard="0"': value}``."""
+        """All label sets of a labelled metric: ``{'shard="0"': value}``."""
+        if name in LABELED_GAUGES:
+            self._check(name, "gauge", labeled=True)
+            return dict(self._labeled_gauges[name])
         self._check(name, "counter", labeled=True)
         return dict(self._labeled[name])
 
@@ -348,8 +408,14 @@ class MetricsRegistry:
             "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
             "histograms": {k: self._hists[k].to_dict()
                            for k in sorted(self._hists)},
-            "labeled": {k: dict(sorted(self._labeled[k].items()))
-                        for k in sorted(self._labeled)},
+            # Labelled counters and labelled gauges share the map; the
+            # name sets are disjoint by construction.
+            "labeled": {
+                **{k: dict(sorted(self._labeled[k].items()))
+                   for k in sorted(self._labeled)},
+                **{k: dict(sorted(self._labeled_gauges[k].items()))
+                   for k in sorted(self._labeled_gauges)},
+            },
         }
 
     def to_prometheus(self) -> str:
@@ -367,6 +433,10 @@ class MetricsRegistry:
                         f"{full}{{{key}}} {_fmt(self._labeled[name][key])}")
             elif kind == "counter":
                 lines.append(f"{full} {_fmt(self._counters[name])}")
+            elif kind == "gauge" and name in LABELED_GAUGES:
+                for key in sorted(self._labeled_gauges[name]):
+                    lines.append(f"{full}{{{key}}} "
+                                 f"{_fmt(self._labeled_gauges[name][key])}")
             elif kind == "gauge":
                 lines.append(f"{full} {_fmt(self._gauges[name])}")
             else:

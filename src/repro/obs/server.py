@@ -28,8 +28,18 @@ class _MetricsHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API name
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            # Liveness only: no collector runs, no registry traffic — a
+            # health check must answer even if a collector wedges.
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         if path not in ("/", "/metrics"):
-            self.send_error(404, "only /metrics is served")
+            self.send_error(404, "only /metrics and /healthz are served")
             return
         body = self.server.registry.to_prometheus().encode("utf-8")
         self.send_response(200)
@@ -78,12 +88,20 @@ class MetricsServer(ThreadingHTTPServer):
         return self
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
-        if self._thread is not None:
+        """Stop serving and release the socket (idempotent).
+
+        The listening socket closes *before* the serve thread is joined:
+        a scrape racing shutdown is either already accepted (and served
+        by its own daemon handler thread) or refused outright — it can
+        never hold the accept loop open past the join deadline.
+        """
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
             self.shutdown()
-            self._thread.join(timeout=5.0)
-            self._thread = None
         self.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

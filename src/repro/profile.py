@@ -29,7 +29,13 @@ Examples
 Every profile now embeds a full metrics-registry snapshot (the same
 counters a live ``/metrics`` scrape exposes); ``--metrics-port`` serves
 the registry over HTTP for the duration of the run, and ``--spans-out``
-writes a Chrome trace-event timeline loadable in Perfetto.
+writes a Chrome trace-event timeline loadable in Perfetto. With
+``--backing sharded`` the timeline gains one process track per shard
+worker (spans shipped back over the wire protocol's TELEMETRY op), and
+the mandatory ``attribution`` block decomposes per-op latency into
+pipeline stages — window wait, wire, worker disk, reply — from the
+merged cross-process histograms; ``--attribution`` prints the stage
+table to stdout.
 """
 
 from __future__ import annotations
@@ -175,6 +181,109 @@ def _config_block(args, engine: LikelihoodEngine) -> dict:
     }
 
 
+def _find_sharded(backing):
+    """Unwrap fault/retry wrappers down to a ShardedBackingStore, if any."""
+    seen = 0
+    while backing is not None and seen < 8:
+        if getattr(backing, "num_shards", 0) and hasattr(backing,
+                                                         "collect_telemetry"):
+            return backing
+        backing = getattr(backing, "inner", None)
+        seen += 1
+    return None
+
+
+def _hist_summary(hist) -> dict:
+    """count/sum/percentile summary of one LogHistogram (attribution shape)."""
+    count = hist.count
+    return {
+        "count": count,
+        "sum": hist.total_seconds,
+        "p50": hist.percentile(50.0) if count else 0.0,
+        "p95": hist.percentile(95.0) if count else 0.0,
+        "p99": hist.percentile(99.0) if count else 0.0,
+    }
+
+
+_ZERO_SUMMARY = {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def _attribution_block(args, obs: Observer, sharded) -> dict:
+    """Per-op latency decomposition (the ``repro-profile/3`` block).
+
+    The totals are the parent-side request latencies (``obs.probe``);
+    the stages come from the merged worker histograms shipped back over
+    OP_TELEMETRY. Stage sums need not add up to the total — the stages
+    time distinct sub-intervals of a request (wire transit, worker disk
+    time, reply transit) and queueing between them is real.
+    """
+    totals = {"read": obs.probe.read_hist, "write": obs.probe.write_hist}
+    ops: dict = {}
+    if sharded is None:
+        for op, hist in totals.items():
+            ops[op] = _hist_summary(hist)
+            # Single-process backing: the whole request *is* the disk op.
+            ops[op]["stages"] = {"disk": _hist_summary(hist)}
+        return {"backing": args.backing, "window_wait": dict(_ZERO_SUMMARY),
+                "ops": ops, "per_shard": {}}
+    stages = {
+        "read": {"wire": sharded.wire_read_hist,
+                 "disk": sharded.worker_probe.read_hist,
+                 "reply": sharded.reply_read_hist},
+        "write": {"wire": sharded.wire_write_hist,
+                  "disk": sharded.worker_probe.write_hist,
+                  "reply": sharded.reply_write_hist},
+    }
+    for op, hist in totals.items():
+        ops[op] = _hist_summary(hist)
+        ops[op]["stages"] = {name: _hist_summary(h)
+                             for name, h in stages[op].items()}
+    return {
+        "backing": args.backing,
+        "window_wait": _hist_summary(sharded.window_hist),
+        "ops": ops,
+        "per_shard": sharded.per_shard_counts(),
+    }
+
+
+def _attribution_crosscheck(sharded, counters: dict) -> list[str]:
+    """Worker-side op counts must equal the parent's IoStats totals.
+
+    Every successful physical read/write is counted exactly once on each
+    side of the wire (workers count completions, IoStats counts issued
+    ops that returned); any drift means lost or double-counted telemetry.
+    """
+    problems = []
+    for op, key in (("read", "physical_reads"), ("write", "physical_writes")):
+        hist = getattr(sharded.worker_probe, f"{op}_hist")
+        if hist.count != counters[key]:
+            problems.append(
+                f"worker {op} count {hist.count} != IoStats "
+                f"{key} {counters[key]}")
+    return problems
+
+
+def _print_attribution(attribution: dict) -> None:
+    def fmt(s: dict) -> str:
+        return (f"count={s['count']:>6}  sum={s['sum']:.4f}s  "
+                f"p50={s['p50'] * 1e6:9.1f}us  p95={s['p95'] * 1e6:9.1f}us  "
+                f"p99={s['p99'] * 1e6:9.1f}us")
+
+    print(f"latency attribution ({attribution['backing']} backing)")
+    print(f"  window_wait     : {fmt(attribution['window_wait'])}")
+    for op in ("read", "write"):
+        entry = attribution["ops"][op]
+        print(f"  {op:<5} total     : {fmt(entry)}")
+        for stage, summary in entry["stages"].items():
+            print(f"    stage {stage:<5}   : {fmt(summary)}")
+    per_shard = attribution["per_shard"]
+    if per_shard:
+        for shard in sorted(per_shard, key=int):
+            row = per_shard[shard]
+            print(f"  shard {shard}: {row['reads']} reads, "
+                  f"{row['writes']} writes, {row['restarts']} restarts")
+
+
 def _parity_check(alignment, tree, args, workdir: str,
                   traced: dict) -> list[str]:
     """Re-run untraced; return mismatch descriptions (empty = parity holds)."""
@@ -221,12 +330,26 @@ def run_profile(args) -> int:
             lnl = _run_workload(engine, args)
             engine.store.drain()
             wall = time.perf_counter() - t0
+            sharded = _find_sharded(engine.store.backing)
+            if sharded is not None:
+                # Pull the final worker deltas while the processes are
+                # still up, so the snapshot below already includes them.
+                sharded.collect_telemetry()
             counters = _counters_block(engine)
             metrics_snapshot = obs.metrics.snapshot()
         finally:
             if server is not None:
                 server.close()
             engine.close()
+
+        attribution = _attribution_block(args, obs, sharded)
+        if sharded is not None:
+            mismatches = _attribution_crosscheck(sharded, counters)
+            if mismatches:
+                for m in mismatches:
+                    print(f"attribution cross-check FAILED: {m}",
+                          file=sys.stderr)
+                return 1
 
         doc = {
             "schema": PROFILE_SCHEMA,
@@ -239,6 +362,7 @@ def run_profile(args) -> int:
             "histograms": obs.histograms(),
             "events": obs.event_summary(),
             "metrics": metrics_snapshot,
+            "attribution": attribution,
         }
         problems = validate_profile(doc)
         if problems:  # a bug in this module, not in the caller's input
@@ -257,12 +381,24 @@ def run_profile(args) -> int:
         ev = doc["events"]
         print(f"events          : {ev['emitted']} emitted, "
               f"{ev['captured']} captured, {ev['dropped']} dropped")
+        if sharded is not None:
+            print(f"telemetry       : worker histograms match IoStats "
+                  f"({counters['physical_reads']} reads, "
+                  f"{counters['physical_writes']} writes)")
+        if args.attribution:
+            _print_attribution(attribution)
 
         if args.spans_out:
+            worker_spans = 0
+            if sharded is not None:
+                worker_spans = sharded.export_spans_into(obs.spans)
             obs.spans.write_chrome_trace(args.spans_out)
+            extra = (f", {worker_spans} worker spans on "
+                     f"{sharded.num_shards} tracks" if sharded is not None
+                     else "")
             print(f"span timeline   : {args.spans_out} "
-                  f"({len(obs.spans)} spans, {obs.spans.dropped} dropped; "
-                  "load in Perfetto / chrome://tracing)")
+                  f"({len(obs.spans)} spans, {obs.spans.dropped} dropped"
+                  f"{extra}; load in Perfetto / chrome://tracing)")
         if args.events:
             n = records_to_jsonl(obs.tracer.records(), args.events)
             print(f"event dump      : {args.events} ({n} records)")
@@ -387,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump the raw event stream as JSONL")
     parser.add_argument("--timeline", metavar="PATH",
                         help="also write the slot-occupancy timeline (JSON)")
+    parser.add_argument("--attribution", action="store_true",
+                        help="print the per-op latency attribution table "
+                             "(stage decomposition from the merged "
+                             "cross-process histograms)")
     parser.add_argument("--check-parity", action="store_true",
                         help="re-run untraced and fail unless all demand/"
                              "eviction counters are bit-identical")

@@ -166,6 +166,117 @@ class TestLabeledCounters:
         assert samples['repro_backing_bytes_written{shard="2"}'] == 512
 
 
+class TestLabeledGauges:
+    def test_set_and_sum_over_labels(self):
+        mx = MetricsRegistry()
+        mx.gauge_set_labeled("shard_inflight", {"shard": "0"}, 3)
+        mx.gauge_set_labeled("shard_inflight", {"shard": "1"}, 5)
+        mx.gauge_set_labeled("shard_inflight", {"shard": "0"}, 2)  # live value
+        assert mx.labeled("shard_inflight") == {'shard="0"': 2, 'shard="1"': 5}
+        # value() on a labelled gauge is the sum over its label sets
+        # (total in-flight across shards).
+        assert mx.value("shard_inflight") == 7
+
+    def test_plain_gauge_set_on_labeled_name_rejected(self):
+        mx = MetricsRegistry()
+        with pytest.raises(OutOfCoreError, match="gauge_set_labeled"):
+            mx.gauge_set("shard_inflight", 1)
+        with pytest.raises(OutOfCoreError, match="gauge_set\\(\\)"):
+            mx.gauge_set_labeled("slots_occupied", {"shard": "0"}, 1)
+
+    def test_kind_and_name_checked(self):
+        mx = MetricsRegistry()
+        with pytest.raises(OutOfCoreError, match="unknown metric"):
+            mx.gauge_set_labeled("no_such_gauge", {"shard": "0"}, 1)
+        with pytest.raises(OutOfCoreError, match="is a counter"):
+            mx.gauge_set_labeled("backing_reads", {"shard": "0"}, 1)
+
+    def test_snapshot_and_prometheus_render_label_sets(self):
+        mx = MetricsRegistry()
+        mx.gauge_set_labeled("shard_oldest_pending_seconds",
+                             {"shard": "2"}, 0.25)
+        snap = mx.snapshot()
+        assert snap["labeled"]["shard_oldest_pending_seconds"] == \
+            {'shard="2"': 0.25}
+        assert "shard_oldest_pending_seconds" not in snap["gauges"]
+        samples = parse_prometheus(mx.to_prometheus())
+        key = 'repro_shard_oldest_pending_seconds{shard="2"}'
+        assert samples[key] == 0.25
+
+
+class TestMergeHistogram:
+    def test_merge_worker_state_delta(self):
+        from repro.obs.histogram import LogHistogram
+
+        worker = LogHistogram()
+        for dt in (0.001, 0.002, 0.004):
+            worker.record(dt)
+        mx = MetricsRegistry()
+        mx.observe("shard_disk_read_seconds", 0.008)
+        mx.merge_histogram("shard_disk_read_seconds", worker.drain_state())
+        hist = mx.snapshot()["histograms"]["shard_disk_read_seconds"]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(0.015)
+        # the drain reset the worker side: a second pull adds nothing
+        mx.merge_histogram("shard_disk_read_seconds", worker.drain_state())
+        assert mx.snapshot()["histograms"]["shard_disk_read_seconds"][
+            "count"] == 4
+
+    def test_merge_rejects_unknown_and_non_histogram(self):
+        from repro.obs.histogram import LogHistogram
+
+        mx = MetricsRegistry()
+        state = LogHistogram().state()
+        with pytest.raises(OutOfCoreError, match="unknown metric"):
+            mx.merge_histogram("no_such_hist", state)
+        with pytest.raises(OutOfCoreError, match="is a counter"):
+            mx.merge_histogram("requests", state)
+
+    def test_merge_rejects_geometry_mismatch(self):
+        from repro.obs.histogram import LogHistogram
+
+        mx = MetricsRegistry()
+        foreign = LogHistogram(min_seconds=1e-3, num_buckets=8)
+        foreign.record(0.01)
+        with pytest.raises(OutOfCoreError, match="bucket geometry"):
+            mx.merge_histogram("shard_wire_seconds", foreign.state())
+
+
+class TestPrometheusEdgeCases:
+    def test_empty_registry_exposes_every_name(self):
+        """A fresh registry still emits HELP/TYPE for the full catalogue."""
+        text = MetricsRegistry().to_prometheus()
+        for name in METRIC_NAMES:
+            assert f"# HELP repro_{name} " in text
+            assert f"# TYPE repro_{name} " in text
+
+    def test_labeled_series_with_zero_shards_has_no_samples(self):
+        """No label sets -> HELP/TYPE only; an unlabelled zero sample
+        must never shadow the (absent) per-shard series."""
+        text = MetricsRegistry().to_prometheus()
+        samples = parse_prometheus(text)
+        for name in ("backing_reads", "shard_inflight"):
+            assert f"# TYPE repro_{name}" in text
+            assert not [s for s in samples if s.startswith(f"repro_{name}")]
+
+    def test_empty_histogram_exposes_inf_bucket_sum_count(self):
+        samples = parse_prometheus(MetricsRegistry().to_prometheus())
+        assert samples['repro_shard_wire_seconds_bucket{le="+Inf"}'] == 0
+        assert samples["repro_shard_wire_seconds_sum"] == 0
+        assert samples["repro_shard_wire_seconds_count"] == 0
+
+    def test_single_observation_bucket_exposition(self):
+        mx = MetricsRegistry()
+        mx.observe("shard_window_wait_seconds", 0.01)
+        samples = parse_prometheus(mx.to_prometheus())
+        buckets = {name: v for name, v in samples.items()
+                   if name.startswith("repro_shard_window_wait_seconds_bucket")}
+        # exactly one finite bucket plus +Inf, both cumulative at 1
+        assert len(buckets) == 2
+        assert sorted(buckets.values()) == [1, 1]
+        assert samples["repro_shard_window_wait_seconds_count"] == 1
+
+
 class TestStoreIntegration:
     def test_snapshot_mirrors_iostats(self, engine_factory):
         engine = engine_factory(fraction=0.3, writeback_depth=2)
@@ -292,3 +403,64 @@ class TestMetricsServer:
             with urllib.request.urlopen(f"{base}/", timeout=5) as resp:
                 body = resp.read().decode("utf-8")
         assert parse_prometheus(body)["repro_requests"] == 3
+
+    def test_healthz_answers_without_running_collectors(self):
+        """Liveness must not depend on (or trigger) registry collectors."""
+        mx = MetricsRegistry()
+        calls = []
+        mx.register_collector(lambda: calls.append(1))
+        with MetricsServer(mx) as server:
+            base = server.url.rsplit("/metrics", 1)[0]
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.read() == b"ok\n"
+            assert calls == []
+            urllib.request.urlopen(server.url, timeout=5).close()
+            assert calls == [1]
+
+    def test_close_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry()).start()
+        urllib.request.urlopen(server.url, timeout=5).close()
+        server.close()
+        server.close()  # second close must be a no-op, not an error
+
+    def test_scrape_racing_shutdown(self):
+        """Regression: scrapes hammering the endpoint while close() runs
+        must either be served or refused — never wedge the shutdown."""
+        mx = MetricsRegistry()
+        server = MetricsServer(mx).start()
+        url = server.url
+        stop = threading.Event()
+        served = []
+        errors = []
+
+        def scrape_loop():
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=5) as resp:
+                        resp.read()
+                    served.append(1)
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    # refused mid/post-shutdown: the acceptable outcome
+                    pass
+                except Exception as exc:  # pragma: no cover - regression
+                    errors.append(exc)
+                    return
+
+        scraper = threading.Thread(target=scrape_loop)
+        scraper.start()
+        try:
+            deadline = 50
+            while not served and deadline:
+                deadline -= 1
+                threading.Event().wait(0.01)
+            assert served, "scraper never reached the endpoint"
+            server.close()  # must return promptly despite live scrapes
+        finally:
+            stop.set()
+            scraper.join(timeout=10)
+        assert not scraper.is_alive()
+        assert not errors
+        # the socket is actually released: a fresh scrape is refused
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(url, timeout=1).close()

@@ -309,17 +309,57 @@ class TestExporters:
         doc = json.loads(out.read_text())
         assert validate_profile(doc) == []
 
+    @staticmethod
+    def _attribution(**overrides):
+        summary = {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0,
+                   "p99": 0.0}
+        block = {
+            "backing": "file",
+            "window_wait": dict(summary),
+            "ops": {op: {**summary, "stages": {"disk": dict(summary)}}
+                    for op in ("read", "write")},
+            "per_shard": {},
+        }
+        block.update(overrides)
+        return block
+
     def test_validate_profile_rejects_damaged_docs(self):
         assert validate_profile([]) != []
         assert any("missing top-level" in p for p in validate_profile({}))
         doc = {"schema": "other/9", "workload": "full", "config": {},
                "phases": {"plan": {"seconds": 0.0, "calls": 1}},
                "counters": {}, "histograms": {}, "events": {},
-               "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}
+               "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+               "attribution": self._attribution()}
         problems = validate_profile(doc)
         assert any("schema" in p for p in problems)
         assert any("counters missing" in p for p in problems)
         assert any("missing histogram" in p for p in problems)
+
+    def test_validate_profile_checks_attribution_block(self):
+        base = {"schema": "other/9", "workload": "full", "config": {},
+                "phases": {"plan": {"seconds": 0.0, "calls": 1}},
+                "counters": {}, "histograms": {}, "events": {},
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}
+
+        def problems_with(attr):
+            return validate_profile({**base, "attribution": attr})
+
+        assert any("attribution must be" in p for p in problems_with([]))
+        assert any("backing" in p
+                   for p in problems_with(self._attribution(backing="")))
+        assert any("window_wait" in p for p in problems_with(
+            self._attribution(window_wait={"count": 1})))
+        broken = self._attribution()
+        del broken["ops"]["write"]
+        assert any("ops" in p and "write" in p
+                   for p in problems_with(broken))
+        broken = self._attribution()
+        broken["ops"]["read"]["stages"]["disk"] = {"count": "nope"}
+        assert any("stages" in p for p in problems_with(broken))
+        # the full well-formed block passes
+        assert not [p for p in problems_with(self._attribution())
+                    if "attribution" in p]
 
     def test_validate_profile_checks_metrics_consistency(self):
         """The registry snapshot must agree with the counter block."""
@@ -329,7 +369,8 @@ class TestExporters:
                "histograms": {}, "events": {"emitted": 5, "dropped": 0},
                "metrics": {"counters": {"requests": 7,
                                         "trace_events_emitted": 4},
-                           "gauges": {}, "histograms": {}}}
+                           "gauges": {}, "histograms": {}},
+               "attribution": self._attribution()}
         problems = validate_profile(doc)
         assert any("disagrees with the metrics snapshot" in p
                    for p in problems)

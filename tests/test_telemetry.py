@@ -1,0 +1,264 @@
+"""Cross-process telemetry for the sharded tier: mergeable histograms,
+worker-side probes pulled over OP_TELEMETRY, and wire-level trace links.
+
+The contract under test (PR 10): arming is pay-for-play (a worker with
+no observability sink attached records nothing), pulls carry deltas
+(repeated scrapes never double-count), worker histogram counts equal the
+client-side completion counts bit-exactly, and every worker disk span
+names the client request span that caused it so the merged Chrome trace
+is causally linked across the process boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sharded import ShardedBackingStore
+from repro.errors import OutOfCoreError
+from repro.obs import MetricsRegistry, SpanRecorder
+from repro.obs.histogram import BackingProbe, LogHistogram
+
+SHAPE = (4, 2, 4)
+N_ITEMS = 12
+SHARDS = 2
+ITEM_BYTES = int(np.prod(SHAPE)) * 8  # float64
+
+
+def _make_store(tmp_path):
+    return ShardedBackingStore(tmp_path / "sh", N_ITEMS, SHAPE,
+                               num_shards=SHARDS)
+
+
+def _do_ops(store, n=N_ITEMS):
+    """n writes then n reads; returns the op counts (writes, reads)."""
+    rng = np.random.default_rng(7)
+    out = np.empty(SHAPE)
+    for item in range(n):
+        store.write(item, rng.normal(size=SHAPE))
+    for item in range(n):
+        store.read(item, out)
+    return n, n
+
+
+class TestHistogramState:
+    def test_state_merge_round_trip(self):
+        src, dst = LogHistogram(), LogHistogram()
+        for dt in (1e-6, 1e-4, 1e-2, 1.0):
+            src.record(dt)
+        dst.merge_state(src.state())
+        assert dst.count == src.count == 4
+        assert dst.total_seconds == pytest.approx(src.total_seconds)
+        assert dst.percentile(95.0) == src.percentile(95.0)
+        # state() is a snapshot, not a drain
+        assert src.count == 4
+
+    def test_drain_state_is_delta(self):
+        src, dst = LogHistogram(), LogHistogram()
+        src.record(0.001)
+        src.record(0.002)
+        dst.merge_state(src.drain_state())
+        assert src.count == 0 and src.total_seconds == 0.0
+        src.record(0.004)
+        dst.merge_state(src.drain_state())
+        # two pulls, each a delta: nothing lost, nothing double-counted
+        assert dst.count == 3
+        assert dst.total_seconds == pytest.approx(0.007)
+        # a further empty pull adds nothing
+        dst.merge_state(src.drain_state())
+        assert dst.count == 3
+
+    def test_merge_rejects_foreign_geometry(self):
+        coarse = LogHistogram(min_seconds=1e-3, num_buckets=8)
+        coarse.record(0.5)
+        with pytest.raises(OutOfCoreError, match="bucket geometry"):
+            LogHistogram().merge_state(coarse.state())
+
+    def test_probe_drain_and_merge(self):
+        src, dst = BackingProbe(), BackingProbe()
+        src.record_read(0.001, 256)
+        src.record_read(0.002, 256)
+        src.record_write(0.004, 512)
+        dst.merge_state(src.drain_state())
+        assert dst.read_hist.count == 2
+        assert dst.write_hist.count == 1
+        assert dst.read_bytes == 512
+        assert dst.write_bytes == 512
+        assert src.read_hist.count == 0 and src.read_bytes == 0
+
+
+class TestWorkerPull:
+    def test_unarmed_workers_record_nothing(self, tmp_path):
+        """Pay-for-play: no sink attached -> no worker-side telemetry."""
+        st = _make_store(tmp_path)
+        try:
+            _do_ops(st)
+            st.collect_telemetry()  # unarmed workers answer with {}
+            assert st.worker_probe.read_hist.count == 0
+            assert st.worker_probe.write_hist.count == 0
+            assert st.wire_read_hist.count == 0
+            assert st.export_spans_into(SpanRecorder()) == 0
+        finally:
+            st.close()
+
+    def test_armed_counts_match_client_completions(self, tmp_path):
+        st = _make_store(tmp_path)
+        try:
+            st.probe = BackingProbe()  # arms every worker
+            writes, reads = _do_ops(st)
+            st.collect_telemetry()
+            # the bit-exact cross-check --attribution and the bench rely on
+            assert st.worker_probe.read_hist.count == reads
+            assert st.worker_probe.write_hist.count == writes
+            assert st.worker_probe.read_bytes == reads * ITEM_BYTES
+            assert st.worker_probe.write_bytes == writes * ITEM_BYTES
+            # every armed op contributes one wire and one reply sample
+            assert st.wire_read_hist.count == reads
+            assert st.wire_write_hist.count == writes
+            assert st.reply_read_hist.count == reads
+            assert st.reply_write_hist.count == writes
+            # and the client-side probe saw the same ops
+            assert st.probe.read_hist.count == reads
+            assert st.probe.write_hist.count == writes
+        finally:
+            st.close()
+
+    def test_repeated_pulls_never_double_count(self, tmp_path):
+        st = _make_store(tmp_path)
+        try:
+            st.probe = BackingProbe()
+            writes, reads = _do_ops(st)
+            for _ in range(3):
+                st.collect_telemetry()
+            assert st.worker_probe.read_hist.count == reads
+            assert st.worker_probe.write_hist.count == writes
+        finally:
+            st.close()
+
+    def test_close_drains_the_final_delta(self, tmp_path):
+        st = _make_store(tmp_path)
+        try:
+            st.probe = BackingProbe()
+            writes, reads = _do_ops(st)
+        finally:
+            st.close()
+        # no explicit pull before close: the shutdown drain delivered it
+        assert st.worker_probe.read_hist.count == reads
+        assert st.worker_probe.write_hist.count == writes
+
+    def test_disarm_stops_worker_recording(self, tmp_path):
+        st = _make_store(tmp_path)
+        try:
+            st.probe = BackingProbe()
+            writes, reads = _do_ops(st)
+            st.collect_telemetry()
+            st.probe = None  # disarms the workers
+            _do_ops(st)
+            st.collect_telemetry()
+            assert st.worker_probe.read_hist.count == reads
+            assert st.worker_probe.write_hist.count == writes
+        finally:
+            st.close()
+
+
+class TestMetricsIntegration:
+    def test_scrape_pulls_and_merges_worker_histograms(self, tmp_path):
+        st = _make_store(tmp_path)
+        mx = MetricsRegistry()
+        try:
+            st.metrics = mx  # registers the collector and arms workers
+            writes, reads = _do_ops(st)
+            snap = mx.snapshot()  # scrape: gauges + OP_TELEMETRY pull
+            hists = snap["histograms"]
+            assert hists["shard_disk_read_seconds"]["count"] == reads
+            assert hists["shard_disk_write_seconds"]["count"] == writes
+            assert hists["shard_wire_seconds"]["count"] == reads + writes
+            assert hists["shard_reply_seconds"]["count"] == reads + writes
+            assert snap["counters"]["shard_telemetry_pulls"] >= SHARDS
+            # labelled counters decompose the same totals by shard
+            assert mx.labeled_sum("backing_reads") == reads
+            assert mx.labeled_sum("backing_writes") == writes
+        finally:
+            st.close()
+
+    def test_live_shard_gauges_have_one_series_per_shard(self, tmp_path):
+        st = _make_store(tmp_path)
+        mx = MetricsRegistry()
+        try:
+            st.metrics = mx
+            _do_ops(st)
+            labeled = mx.snapshot()["labeled"]
+            want = {f'shard="{s}"' for s in range(SHARDS)}
+            assert set(labeled["shard_inflight"]) == want
+            assert set(labeled["shard_oldest_pending_seconds"]) == want
+            # quiesced between ops: nothing in flight at scrape time
+            assert all(v == 0 for v in labeled["shard_inflight"].values())
+        finally:
+            st.close()
+
+
+class TestSpanLinks:
+    def test_worker_spans_parented_by_client_request_spans(self, tmp_path):
+        st = _make_store(tmp_path)
+        sp = SpanRecorder()
+        try:
+            st.spans = sp  # arms workers, enables trace-context headers
+            writes, reads = _do_ops(st)
+            st.collect_telemetry()
+            exported = st.export_spans_into(sp)
+            assert exported == reads + writes
+            assert st.worker_span_drops() == 0
+
+            client = {r.span_id: r for r in sp.records()
+                      if r.name in ("shard_read", "shard_write")}
+            assert len(client) == reads + writes
+            assert all(sid != 0 for sid in client)
+            tracks = sp.tracks()
+            assert [name for name, _, _ in tracks] == \
+                sorted({f"shard-worker-{st.shard_of_item(i)}"
+                        for i in range(N_ITEMS)})
+            pair = {"shard_disk_read": "shard_read",
+                    "shard_disk_write": "shard_write"}
+            for _name, records, _off in tracks:
+                for rec in records:
+                    # every worker disk span names a retained client span
+                    assert rec.parent in client
+                    assert client[rec.parent].name == pair[rec.name]
+                    assert rec.args == {"item": client[rec.parent].args["item"]}
+        finally:
+            st.close()
+
+    def test_trace_scope_sets_client_span_parent(self, tmp_path):
+        st = _make_store(tmp_path)
+        sp = SpanRecorder()
+        try:
+            st.spans = sp
+            with st.trace_scope(4242):
+                st.write(0, np.zeros(SHAPE))
+            st.write(1, np.zeros(SHAPE))  # outside the scope
+            by_item = {r.args["item"]: r for r in sp.records()
+                       if r.name == "shard_write"}
+            assert by_item[0].parent == 4242
+            assert by_item[1].parent == 0
+        finally:
+            st.close()
+
+    def test_chrome_trace_links_worker_tracks_with_flows(self, tmp_path):
+        st = _make_store(tmp_path)
+        sp = SpanRecorder()
+        try:
+            st.spans = sp
+            writes, reads = _do_ops(st)
+            st.collect_telemetry()
+            st.export_spans_into(sp)
+        finally:
+            st.close()
+        doc = sp.to_chrome_trace()
+        assert doc["otherData"]["tracks"] == SHARDS
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == set(range(1, SHARDS + 2))
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        # one s/f pair per worker disk span, rooted in pid 1
+        assert len(flows) == 2 * (reads + writes)
+        assert all(e["pid"] == 1 for e in flows if e["ph"] == "s")
+        assert all(e["pid"] != 1 for e in flows if e["ph"] == "f")
